@@ -1,0 +1,45 @@
+"""Ablation: how much the dependence-aware overlap model matters.
+
+The cycle model exposes the full latency of pointer-chasing (serial)
+LLC misses and overlaps independent ones.  This ablation re-runs
+HyPer's 100 GB micro cell under three data-miss overlap assumptions —
+everything-overlaps, the calibrated default, and nothing-overlaps — and
+shows that the paper's HyPer-collapse (IPC ~0.4 at 100 GB) only appears
+once dependent misses are charged their full latency.
+"""
+
+from repro.bench.runner import ExperimentRunner, RunSpec
+from repro.core.cpu import DEFAULT_OVERLAP, OverlapModel
+from repro.workloads.microbench import MicroBenchmark
+
+VARIANTS = {
+    # (overlap model, serial-miss surcharge override)
+    "all-overlapped": (OverlapModel(l1d=0.1, l2d=0.1, llcd=0.1, llcd_serial=0.3), 0),
+    "calibrated (default)": (DEFAULT_OVERLAP, None),
+    "no-overlap": (OverlapModel(l1d=1.0, l2d=1.0, llcd=1.0, llcd_serial=1.0), None),
+}
+
+
+def run_variant(variant) -> float:
+    overlap, extra = variant
+    spec = RunSpec(system="hyper", overlap=overlap, serial_miss_extra_cycles=extra).quick()
+    result = ExperimentRunner(
+        spec, lambda: MicroBenchmark(db_bytes=100 << 30)
+    ).run()
+    return result.ipc
+
+
+def test_overlap_model_ablation(benchmark):
+    def run_all():
+        return {name: run_variant(variant) for name, variant in VARIANTS.items()}
+
+    ipcs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for name, ipc in ipcs.items():
+        print(f"  HyPer @100GB, {name:<22} IPC = {ipc:.2f}")
+        benchmark.extra_info[name] = round(ipc, 3)
+    # Monotone: more exposed latency -> lower IPC; and the calibrated
+    # model sits in the paper's band while all-overlapped does not.
+    assert ipcs["all-overlapped"] > ipcs["calibrated (default)"] > ipcs["no-overlap"]
+    assert ipcs["calibrated (default)"] < 0.7
+    assert ipcs["all-overlapped"] > 0.9

@@ -1,0 +1,42 @@
+"""Extension bench: Section 8's hardware implications, measured.
+
+Not a paper figure — the paper *argues* these; the simulator can run
+them.  Regenerates the L1I-size, LLC-size and core-width sweeps from
+:mod:`repro.analysis.hardware_sweep`.
+"""
+
+from repro.analysis import render_sweep, sweep_core_width, sweep_l1i_size, sweep_llc_size
+from repro.bench.runner import RunSpec
+from repro.workloads.microbench import MicroBenchmark
+
+
+def micro_factory():
+    return MicroBenchmark(db_bytes=100 << 30)
+
+
+def test_hardware_implications(benchmark):
+    def run_all():
+        base_d = RunSpec(system="dbms-d").quick()
+        base_h = RunSpec(system="hyper").quick()
+        return {
+            "l1i": sweep_l1i_size(base_d, micro_factory, sizes_kb=(32, 64, 128)),
+            "llc": sweep_llc_size(base_h, micro_factory, sizes_mb=(20, 40, 80)),
+            "width": sweep_core_width(base_d, micro_factory, ideal_ipcs=(1.5, 3.0)),
+        }
+
+    sweeps = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(render_sweep("DBMS D @100GB micro: L1I sweep", sweeps["l1i"]))
+    print()
+    print(render_sweep("HyPer @100GB micro: LLC sweep", sweeps["llc"]))
+    print()
+    print(render_sweep("DBMS D @100GB micro: core-width sweep", sweeps["width"]))
+    for name, points in sweeps.items():
+        benchmark.extra_info[name] = [round(p.ipc, 3) for p in points]
+
+    # Claim (a): a big L1I fixes what software could not.
+    assert sweeps["l1i"][-1].l1i_stalls_per_ki < 0.4 * sweeps["l1i"][0].l1i_stalls_per_ki
+    # Claim (b): 4x the LLC barely moves a 100GB working set.
+    assert sweeps["llc"][-1].ipc < 1.4 * sweeps["llc"][0].ipc
+    # Claim (c): halving core width costs little.
+    assert sweeps["width"][0].ipc > 0.6 * sweeps["width"][1].ipc

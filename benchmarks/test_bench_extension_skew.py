@@ -1,0 +1,23 @@
+"""Extension bench: access-skew sensitivity (beyond the paper).
+
+The paper blames HyPer's collapse on requests with no data locality;
+this bench quantifies how much Zipf skew restores it.
+"""
+
+from repro.analysis import render_skew, sweep_skew
+
+
+def test_skew_sweep(benchmark):
+    points = benchmark.pedantic(
+        sweep_skew,
+        args=("hyper",),
+        kwargs={"thetas": (0.0, 0.5, 0.8, 0.95), "quick": True},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_skew(points))
+    benchmark.extra_info["ipc_by_theta"] = {str(p.theta): round(p.ipc, 3) for p in points}
+    # Monotone recovery: hotter keys -> fewer LLC-D stalls -> higher IPC.
+    assert points[-1].ipc > points[0].ipc
+    assert points[-1].llcd_stalls_per_ki < points[0].llcd_stalls_per_ki

@@ -1,0 +1,5 @@
+"""Regenerate IPC vs database size, read-only micro (Figure 1)."""
+
+
+def test_regenerate_fig1(figure_runner):
+    figure_runner("fig1")

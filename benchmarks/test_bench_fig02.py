@@ -1,0 +1,5 @@
+"""Regenerate stalls/kI vs database size, read-only micro (Figure 2)."""
+
+
+def test_regenerate_fig2(figure_runner):
+    figure_runner("fig2")

@@ -1,0 +1,5 @@
+"""Regenerate stalls per transaction at 100GB, read-only micro (Figure 3)."""
+
+
+def test_regenerate_fig3(figure_runner):
+    figure_runner("fig3")

@@ -1,0 +1,5 @@
+"""Regenerate IPC vs rows per transaction (Figure 4)."""
+
+
+def test_regenerate_fig4(figure_runner):
+    figure_runner("fig4")

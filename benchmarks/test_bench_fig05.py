@@ -1,0 +1,5 @@
+"""Regenerate stalls/kI vs rows per transaction (Figure 5)."""
+
+
+def test_regenerate_fig5(figure_runner):
+    figure_runner("fig5")

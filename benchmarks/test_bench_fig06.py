@@ -1,0 +1,5 @@
+"""Regenerate stalls per transaction vs rows (Figure 6)."""
+
+
+def test_regenerate_fig6(figure_runner):
+    figure_runner("fig6")

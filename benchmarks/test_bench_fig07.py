@@ -1,0 +1,5 @@
+"""Regenerate %% time inside the OLTP engine (Figure 7)."""
+
+
+def test_regenerate_fig7(figure_runner):
+    figure_runner("fig7")

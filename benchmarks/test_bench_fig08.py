@@ -1,0 +1,5 @@
+"""Regenerate TPC-B IPC (Figure 8)."""
+
+
+def test_regenerate_fig8(figure_runner):
+    figure_runner("fig8")

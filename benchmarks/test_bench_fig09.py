@@ -1,0 +1,5 @@
+"""Regenerate TPC-B stalls/kI (Figure 9)."""
+
+
+def test_regenerate_fig9(figure_runner):
+    figure_runner("fig9")

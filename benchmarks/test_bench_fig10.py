@@ -1,0 +1,5 @@
+"""Regenerate TPC-C IPC (Figure 10)."""
+
+
+def test_regenerate_fig10(figure_runner):
+    figure_runner("fig10")

@@ -1,0 +1,5 @@
+"""Regenerate TPC-C stalls/kI (Figure 11)."""
+
+
+def test_regenerate_fig11(figure_runner):
+    figure_runner("fig11")

@@ -1,0 +1,5 @@
+"""Regenerate TPC-C stalls per transaction (Figure 12)."""
+
+
+def test_regenerate_fig12(figure_runner):
+    figure_runner("fig12")

@@ -1,0 +1,5 @@
+"""Regenerate index x compilation, micro read-only (Figure 13)."""
+
+
+def test_regenerate_fig13(figure_runner):
+    figure_runner("fig13")

@@ -1,0 +1,5 @@
+"""Regenerate index x compilation, TPC-C (Figure 14)."""
+
+
+def test_regenerate_fig14(figure_runner):
+    figure_runner("fig14")

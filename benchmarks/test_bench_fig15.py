@@ -1,0 +1,5 @@
+"""Regenerate String vs Long data types (Figure 15)."""
+
+
+def test_regenerate_fig15(figure_runner):
+    figure_runner("fig15")

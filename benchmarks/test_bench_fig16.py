@@ -1,0 +1,5 @@
+"""Regenerate multi-threaded micro IPC (Figure 16)."""
+
+
+def test_regenerate_fig16(figure_runner):
+    figure_runner("fig16")

@@ -1,0 +1,5 @@
+"""Regenerate multi-threaded TPC-C IPC (Figure 17)."""
+
+
+def test_regenerate_fig17(figure_runner):
+    figure_runner("fig17")

@@ -1,0 +1,5 @@
+"""Regenerate multi-threaded micro stalls/kI (Figure 18)."""
+
+
+def test_regenerate_fig18(figure_runner):
+    figure_runner("fig18")

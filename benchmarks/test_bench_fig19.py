@@ -1,0 +1,5 @@
+"""Regenerate multi-threaded TPC-C stalls/kI (Figure 19)."""
+
+
+def test_regenerate_fig19(figure_runner):
+    figure_runner("fig19")

@@ -1,0 +1,5 @@
+"""Regenerate IPC vs database size, read-write micro (Figure 20)."""
+
+
+def test_regenerate_fig20(figure_runner):
+    figure_runner("fig20")

@@ -1,0 +1,5 @@
+"""Regenerate stalls/kI vs database size, read-write micro (Figure 21)."""
+
+
+def test_regenerate_fig21(figure_runner):
+    figure_runner("fig21")

@@ -1,0 +1,5 @@
+"""Regenerate stalls per transaction, read-write micro (Figure 22)."""
+
+
+def test_regenerate_fig22(figure_runner):
+    figure_runner("fig22")

@@ -1,0 +1,5 @@
+"""Regenerate IPC vs rows, read-write micro (Figure 23)."""
+
+
+def test_regenerate_fig23(figure_runner):
+    figure_runner("fig23")

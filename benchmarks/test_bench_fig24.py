@@ -1,0 +1,5 @@
+"""Regenerate stalls/kI vs rows, read-write micro (Figure 24)."""
+
+
+def test_regenerate_fig24(figure_runner):
+    figure_runner("fig24")

@@ -1,0 +1,5 @@
+"""Regenerate stalls per transaction vs rows, read-write micro (Figure 25)."""
+
+
+def test_regenerate_fig25(figure_runner):
+    figure_runner("fig25")

@@ -1,0 +1,5 @@
+"""Regenerate index x compilation, micro read-write (Figure 26)."""
+
+
+def test_regenerate_fig26(figure_runner):
+    figure_runner("fig26")

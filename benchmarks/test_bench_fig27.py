@@ -1,0 +1,5 @@
+"""Regenerate String vs Long, read-write micro (Figure 27)."""
+
+
+def test_regenerate_fig27(figure_runner):
+    figure_runner("fig27")

@@ -1,0 +1,5 @@
+"""Regenerate server parameters (Table 1)."""
+
+
+def test_regenerate_table1(figure_runner):
+    figure_runner("table1")

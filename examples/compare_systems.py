@@ -1,0 +1,53 @@
+"""Compare all five systems on the same workload (a mini Figure 1+2).
+
+Runs the read-only micro-benchmark on every engine model at two
+database sizes and prints the IPC table plus the stall breakdowns —
+the disk-based/in-memory comparison that is the paper's core.
+
+Run:  python examples/compare_systems.py
+"""
+
+from repro.bench import ExperimentRunner, RunSpec
+from repro.core.metrics import COMPONENT_LABELS, STALL_COMPONENTS
+from repro.engines import ALL_SYSTEMS, PAPER_LABELS
+from repro.workloads import MicroBenchmark
+
+SIZES = [("10MB", 10 << 20), ("100GB", 100 << 30)]
+
+
+def main() -> None:
+    results = {}
+    for system in ALL_SYSTEMS:
+        for label, db_bytes in SIZES:
+            spec = RunSpec(system=system).quick()
+            runner = ExperimentRunner(
+                spec, lambda b=db_bytes: MicroBenchmark(db_bytes=b)
+            )
+            results[system, label] = runner.run()
+
+    print("IPC (read-only micro-benchmark, 1 row/txn)")
+    print(f"{'system':<10}" + "".join(f"{label:>9}" for label, _ in SIZES))
+    for system in ALL_SYSTEMS:
+        row = "".join(f"{results[system, label].ipc:>9.2f}" for label, _ in SIZES)
+        print(f"{PAPER_LABELS[system]:<10}{row}")
+
+    print("\nStall cycles per 1000 instructions at 100GB (side by side)")
+    header = f"{'system':<10}" + "".join(
+        f"{COMPONENT_LABELS[c]:>8}" for c in STALL_COMPONENTS
+    )
+    print(header)
+    for system in ALL_SYSTEMS:
+        b = results[system, "100GB"].stalls_per_kilo_instruction
+        row = "".join(f"{getattr(b, c):>8.0f}" for c in STALL_COMPONENTS)
+        print(f"{PAPER_LABELS[system]:<10}{row}")
+
+    print(
+        "\nWhat the paper concludes from this shape: despite every in-memory\n"
+        "optimisation, L1-I misses dominate the interpreted systems and\n"
+        "long-latency data misses dominate the compiled one — IPC barely\n"
+        "reaches 1 on a 4-wide machine either way (Sections 4 and 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

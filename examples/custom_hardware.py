@@ -1,0 +1,61 @@
+"""What-if hardware: the paper's "implications" experiment.
+
+Section 8 argues OLTP under-utilises beefy out-of-order cores and asks
+what tailored hardware would do.  Because the whole study runs on a
+simulated server here, that question is directly runnable: define a
+machine with a double-size L1I, or a narrower core, and re-measure.
+
+Run:  python examples/custom_hardware.py
+"""
+
+from dataclasses import replace
+
+from repro.bench import ExperimentRunner, RunSpec
+from repro.core.spec import CacheSpec, IVY_BRIDGE
+from repro.workloads import MicroBenchmark
+
+
+def run_on(server, label: str, system: str = "dbms-d") -> None:
+    spec = RunSpec(system=system, server=server).quick()
+    result = ExperimentRunner(
+        spec, lambda: MicroBenchmark(db_bytes=100 << 30)
+    ).run()
+    b = result.stalls_per_kilo_instruction
+    print(
+        f"{label:<34} IPC={result.ipc:.2f}  "
+        f"L1I/kI={b.l1i:5.0f}  LLC-D/kI={b.llcd:5.0f}"
+    )
+
+
+def main() -> None:
+    print("DBMS D, read-only micro-benchmark, 100GB (simulated hardware sweep)\n")
+
+    run_on(IVY_BRIDGE, "Ivy Bridge (paper's Table 1)")
+
+    big_l1i = replace(
+        IVY_BRIDGE,
+        name="Ivy Bridge + 64KB L1I",
+        l1i=CacheSpec("L1I", 64 * 1024, 8, miss_penalty_cycles=8),
+    )
+    run_on(big_l1i, "double the L1I (64KB)")
+
+    huge_l1i = replace(
+        IVY_BRIDGE,
+        name="Ivy Bridge + 128KB L1I",
+        l1i=CacheSpec("L1I", 128 * 1024, 8, miss_penalty_cycles=8),
+    )
+    run_on(huge_l1i, "quadruple the L1I (128KB)")
+
+    narrow = replace(IVY_BRIDGE, name="narrow core", retire_width=2, ideal_ipc=1.5)
+    run_on(narrow, "simpler 2-wide core")
+
+    print(
+        "\nTwo of the paper's closing points, measured: a larger L1I soaks\n"
+        "up the instruction stalls the software optimisations could not,\n"
+        "and a simpler core loses little IPC because the wide one was\n"
+        "stalled most of the time anyway (Section 8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Index structures head-to-head on the simulated memory hierarchy.
+
+Uses the storage substrates directly — no engine around them — to show
+why index choice drives the paper's data-stall results (Figures 3, 13):
+a disk-page B+tree touches many lines per probe, a cache-line-tuned
+tree a few, an ART and a hash index fewer still.
+
+Every structure is materialised for real (a million keys), probed
+through the simulated Ivy Bridge hierarchy, and reported with measured
+lines-per-probe and LLC miss counts.
+
+Run:  python examples/index_showdown.py
+"""
+
+import random
+
+from repro.core import AccessTrace, Machine
+from repro.storage import (
+    AdaptiveRadixTree,
+    BPlusTree,
+    CacheConsciousBTree,
+    DataAddressSpace,
+    HashIndex,
+)
+
+N_KEYS = 1_000_000
+PROBES = 400
+
+
+def build_indexes(space: DataAddressSpace):
+    indexes = {
+        "B+tree (8KB pages)": BPlusTree("disk", space, page_bytes=8192),
+        "B+tree (256B nodes)": CacheConsciousBTree("cc", space),
+        "ART": AdaptiveRadixTree("art", space),
+        "hash": HashIndex("hash", space, expected_keys=N_KEYS),
+    }
+    print(f"populating {len(indexes)} indexes with {N_KEYS:,} keys each...")
+    for index in indexes.values():
+        for k in range(N_KEYS):
+            index.insert(k, k)
+    return indexes
+
+
+def main() -> None:
+    space = DataAddressSpace()
+    indexes = build_indexes(space)
+    rng = random.Random(42)
+    keys = [rng.randrange(N_KEYS) for _ in range(PROBES)]
+
+    print(f"\n{'index':<22}{'height':>7}{'lines/probe':>13}{'LLC misses/probe':>18}")
+    for name, index in indexes.items():
+        machine = Machine()
+        # Warm the hierarchy with one pass, then measure a second pass
+        # over fresh random keys (steady-state behaviour).
+        for key in keys:
+            t = AccessTrace()
+            index.probe(key, t)
+            machine.run_trace(t)
+        snap = machine.counters[0].snapshot()
+        fresh = [rng.randrange(N_KEYS) for _ in range(PROBES)]
+        lines = 0
+        for key in fresh:
+            t = AccessTrace()
+            index.probe(key, t)
+            lines += len(t)
+            machine.run_trace(t)
+        delta = machine.counters[0].delta(snap)
+        height = index.height if isinstance(index.height, int) else index.height()
+        print(
+            f"{name:<22}{height:>7}{lines / PROBES:>13.1f}"
+            f"{delta.llcd_misses / PROBES:>18.2f}"
+        )
+
+    print(
+        "\nThe disk-page tree pays a whole binary search of lines per level;\n"
+        "the cache-conscious variants pay one or two — the gap behind\n"
+        "Shore-MT's data stalls and DBMS M's hash-vs-B-tree results."
+    )
+
+
+if __name__ == "__main__":
+    main()

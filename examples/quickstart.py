@@ -1,0 +1,49 @@
+"""Quickstart: profile one system on the paper's micro-benchmark.
+
+Builds HyPer's engine model, runs the read-only micro-benchmark on a
+10 MB and a 100 GB database, and prints the metrics the paper reports —
+IPC and the six-way stall breakdown.  This is Figure 1/2's headline
+cell: HyPer flies while its working set fits the LLC and collapses on
+long-latency data misses when it does not.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench import ExperimentRunner, RunSpec
+from repro.core.metrics import COMPONENT_LABELS, STALL_COMPONENTS, memory_stall_fraction
+from repro.workloads import MicroBenchmark
+
+
+def profile(db_bytes: int, label: str) -> None:
+    spec = RunSpec(system="hyper").quick()
+    runner = ExperimentRunner(
+        spec, lambda: MicroBenchmark(db_bytes=db_bytes, rows_per_txn=1)
+    )
+    result = runner.run()
+
+    print(f"--- HyPer, read-only micro-benchmark, {label} database ---")
+    print(f"transactions measured : {result.counters.transactions}")
+    print(f"instructions / txn    : {result.instructions_per_txn:,.0f}")
+    print(f"IPC                   : {result.ipc:.2f}  (machine can retire 4)")
+    print(f"stalled cycle fraction: {memory_stall_fraction(result.counters):.0%}")
+    breakdown = result.stalls_per_kilo_instruction
+    cells = "  ".join(
+        f"{COMPONENT_LABELS[c]}={getattr(breakdown, c):.0f}" for c in STALL_COMPONENTS
+    )
+    print(f"stalls per 1000 instr : {cells}")
+    print()
+
+
+def main() -> None:
+    profile(10 << 20, "10MB (fits the 20MB LLC)")
+    profile(100 << 30, "100GB (1.25 billion rows)")
+    print(
+        "The shape to notice: near-zero instruction stalls in both runs\n"
+        "(compiled transactions), high IPC while the data fits the LLC,\n"
+        "and a collapse to LLC-D-dominated stalls at 100GB — the paper's\n"
+        "central observation about compiled in-memory engines."
+    )
+
+
+if __name__ == "__main__":
+    main()

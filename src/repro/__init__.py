@@ -1,0 +1,95 @@
+"""repro — reproduction of "Micro-architectural Analysis of In-memory OLTP".
+
+Sirin, Tözün, Porobic, Ailamaki.  SIGMOD 2016.
+DOI 10.1145/2882903.2882916.
+
+The package contains everything the study needs, built from scratch:
+
+* :mod:`repro.core` — a trace-driven micro-architecture simulator of the
+  paper's Ivy Bridge server (Table 1) plus a VTune-like profiler;
+* :mod:`repro.codegen` — instruction-stream modelling (code modules,
+  walker, transaction compilation);
+* :mod:`repro.storage` — database substrates: B+tree, cache-conscious
+  B+tree, ART, hash index, heap tables, buffer pool, 2PL lock manager,
+  MVCC, asynchronous WAL, and analytic layout models that let 100 GB
+  logical databases run in-process;
+* :mod:`repro.engines` — executable models of the five analysed systems
+  (Shore-MT, DBMS D, VoltDB, HyPer, DBMS M);
+* :mod:`repro.workloads` — the micro-benchmark, TPC-B and TPC-C;
+* :mod:`repro.bench` — the experiment harness regenerating every table
+  and figure (``python -m repro.bench fig1`` ... ``fig27``).
+
+Quickstart::
+
+    from repro import MicroBenchmark
+    from repro.bench import ExperimentRunner, RunSpec
+
+    spec = RunSpec(system="hyper")
+    runner = ExperimentRunner(spec, lambda: MicroBenchmark(db_bytes=10 << 20))
+    result = runner.run()
+    print(result.ipc, result.stalls_per_kilo_instruction.as_dict())
+"""
+
+from repro.core import (
+    AccessTrace,
+    IVY_BRIDGE,
+    Machine,
+    MemoryHierarchy,
+    PerfCounters,
+    Profiler,
+    ServerSpec,
+    SetAssociativeCache,
+    StallBreakdown,
+    ipc,
+    stalls_per_kilo_instruction,
+    stalls_per_transaction,
+)
+from repro.engines import (
+    ALL_SYSTEMS,
+    DBMSD,
+    DBMSM,
+    Engine,
+    EngineConfig,
+    HyPerEngine,
+    PAPER_LABELS,
+    ShoreMT,
+    TableSpec,
+    Transaction,
+    VoltDBEngine,
+    make_engine,
+)
+from repro.workloads import MicroBenchmark, PAPER_DB_SIZES, TPCB, TPCC, Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "AccessTrace",
+    "DBMSD",
+    "DBMSM",
+    "Engine",
+    "EngineConfig",
+    "HyPerEngine",
+    "IVY_BRIDGE",
+    "Machine",
+    "MemoryHierarchy",
+    "MicroBenchmark",
+    "PAPER_DB_SIZES",
+    "PAPER_LABELS",
+    "PerfCounters",
+    "Profiler",
+    "ServerSpec",
+    "SetAssociativeCache",
+    "ShoreMT",
+    "StallBreakdown",
+    "TPCB",
+    "TPCC",
+    "TableSpec",
+    "Transaction",
+    "VoltDBEngine",
+    "Workload",
+    "ipc",
+    "make_engine",
+    "stalls_per_kilo_instruction",
+    "stalls_per_transaction",
+]

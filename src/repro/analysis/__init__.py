@@ -1,0 +1,34 @@
+"""Analysis extensions beyond the paper's figures.
+
+* :mod:`repro.analysis.breakdown` — per-code-module miss/cycle
+  breakdowns (the methodology of the paper's reference [28]);
+* :mod:`repro.analysis.hardware_sweep` — Section 8's hardware
+  implications as runnable sweeps (L1I size, LLC size, core width);
+* :mod:`repro.analysis.skew` — access-skew sensitivity, the follow-up
+  question the paper leaves open.
+"""
+
+from repro.analysis.breakdown import ModuleProfile, profile_modules, render_breakdown
+from repro.analysis.hardware_sweep import (
+    SweepPoint,
+    render_sweep,
+    sweep_core_width,
+    sweep_l1i_size,
+    sweep_llc_size,
+)
+from repro.analysis.skew import SkewedMicroBenchmark, SkewPoint, render_skew, sweep_skew
+
+__all__ = [
+    "ModuleProfile",
+    "SkewPoint",
+    "SkewedMicroBenchmark",
+    "SweepPoint",
+    "profile_modules",
+    "render_breakdown",
+    "render_skew",
+    "render_sweep",
+    "sweep_core_width",
+    "sweep_l1i_size",
+    "sweep_llc_size",
+    "sweep_skew",
+]

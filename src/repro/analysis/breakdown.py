@@ -1,0 +1,119 @@
+"""Component-level miss breakdown (the paper's [28] methodology).
+
+Tözün et al. "OLTP in Wonderland" break cache misses down into the code
+modules of the OLTP stack; the paper uses the same idea for its
+Figure 7.  This module exposes it as a first-class analysis: run a
+workload on a system and report, per code module, the instructions
+retired, the instruction/data misses it caused and the cycles
+attributed to it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bench.runner import RunSpec, prewarm_llc
+from repro.core.machine import (
+    M_D_L1M,
+    M_D_LLCM,
+    M_IF_L1M,
+    M_IF_LLCM,
+    M_INSTR,
+    Machine,
+)
+from repro.engines.registry import make_engine
+
+
+@dataclass(frozen=True)
+class ModuleProfile:
+    """One code module's share of a profiled run."""
+
+    name: str
+    group: str
+    instructions: int
+    l1i_misses: int
+    llci_misses: int
+    l1d_misses: int
+    llcd_misses: int
+    cycles: float
+
+    def cycles_share(self, total: float) -> float:
+        return self.cycles / total if total else 0.0
+
+
+def profile_modules(
+    spec: RunSpec,
+    workload_factory,
+    *,
+    measure_txns: int = 120,
+    warmup_txns: int = 40,
+) -> list[ModuleProfile]:
+    """Run one cell and return its per-module profile, hottest first."""
+    workload = workload_factory()
+    engine = make_engine(spec.system, spec.engine_config)
+    workload.setup(engine)
+    machine = Machine(spec.server, n_cores=1, overlap=spec.overlap)
+    prewarm_llc(machine, engine)
+    rng = random.Random(spec.seed)
+
+    for _ in range(warmup_txns):
+        procedure, body = workload.next_transaction(rng)
+        machine.run_trace(engine.execute(procedure, body))
+    snapshot = machine.snapshot_module_stats()
+    for _ in range(measure_txns):
+        procedure, body = workload.next_transaction(rng)
+        machine.run_trace(engine.execute(procedure, body))
+
+    cycles_by_mod = _window_cycles(machine, snapshot)
+    layout = engine.layout
+    profiles = []
+    for mod, row in machine.module_stats.items():
+        base = snapshot.get(mod, [0] * len(row))
+        delta = [a - b for a, b in zip(row, base)]
+        profiles.append(
+            ModuleProfile(
+                name=layout.name_of(mod),
+                group=layout.group_of(mod),
+                instructions=int(delta[M_INSTR]),
+                l1i_misses=int(delta[M_IF_L1M]),
+                llci_misses=int(delta[M_IF_LLCM]),
+                l1d_misses=int(delta[M_D_L1M]),
+                llcd_misses=int(delta[M_D_LLCM]),
+                cycles=cycles_by_mod.get(mod, 0.0),
+            )
+        )
+    profiles.sort(key=lambda p: -p.cycles)
+    return profiles
+
+
+def _window_cycles(machine: Machine, snapshot) -> dict[int, float]:
+    current = machine.module_stats
+    delta_rows = {}
+    for mod, row in current.items():
+        base = snapshot.get(mod)
+        delta_rows[mod] = list(row) if base is None else [a - b for a, b in zip(row, base)]
+    machine.module_stats = delta_rows
+    try:
+        return machine.module_cycles()
+    finally:
+        machine.module_stats = current
+
+
+def render_breakdown(profiles: list[ModuleProfile]) -> str:
+    """Aligned text table of a module profile."""
+    total = sum(p.cycles for p in profiles)
+    name_w = max(len(p.name) for p in profiles) + 1
+    lines = [
+        f"{'module':<{name_w}}{'group':<8}{'cycles%':>8}{'instr':>10}"
+        f"{'L1I-m':>8}{'LLCI-m':>8}{'L1D-m':>8}{'LLCD-m':>8}"
+    ]
+    for p in profiles:
+        lines.append(
+            f"{p.name:<{name_w}}{p.group:<8}{100 * p.cycles_share(total):>7.1f}%"
+            f"{p.instructions:>10}{p.l1i_misses:>8}{p.llci_misses:>8}"
+            f"{p.l1d_misses:>8}{p.llcd_misses:>8}"
+        )
+    engine_share = sum(p.cycles for p in profiles if p.group == "engine")
+    lines.append(f"inside the OLTP engine: {100 * engine_share / total:.1f}%" if total else "")
+    return "\n".join(lines)

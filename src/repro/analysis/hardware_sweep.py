@@ -1,0 +1,88 @@
+"""What-if hardware sweeps (the paper's Section 8 implications).
+
+The paper closes by arguing that (a) L1-I capacity is the binding
+constraint software cannot fix, (b) no realistic LLC holds an OLTP
+working set, and (c) wide out-of-order cores are wasted on these
+workloads.  Because the whole study runs on a simulated server, each of
+those statements is a runnable sweep here: vary one hardware dimension,
+re-measure a cell, report the IPC/stall trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.bench.runner import ExperimentRunner, RunSpec
+from repro.core.spec import CacheSpec, IVY_BRIDGE, ServerSpec
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    label: str
+    ipc: float
+    l1i_stalls_per_ki: float
+    llcd_stalls_per_ki: float
+
+
+def _measure(server: ServerSpec, base: RunSpec, workload_factory, label: str) -> SweepPoint:
+    spec = replace(base, server=server)
+    result = ExperimentRunner(spec, workload_factory).run()
+    b = result.stalls_per_kilo_instruction
+    return SweepPoint(label=label, ipc=result.ipc, l1i_stalls_per_ki=b.l1i,
+                      llcd_stalls_per_ki=b.llcd)
+
+
+def sweep_l1i_size(
+    base: RunSpec, workload_factory, sizes_kb=(32, 64, 128, 256)
+) -> list[SweepPoint]:
+    """Grow the L1I: instruction stalls should melt away (claim a)."""
+    points = []
+    for kb in sizes_kb:
+        server = replace(
+            IVY_BRIDGE,
+            name=f"IvyBridge/L1I={kb}KB",
+            l1i=CacheSpec("L1I", kb * 1024, 8, miss_penalty_cycles=8),
+        )
+        points.append(_measure(server, base, workload_factory, f"L1I={kb}KB"))
+    return points
+
+
+def sweep_llc_size(
+    base: RunSpec, workload_factory, sizes_mb=(10, 20, 40, 80)
+) -> list[SweepPoint]:
+    """Grow the LLC: megabytes never catch gigabytes (claim b)."""
+    points = []
+    for mb in sizes_mb:
+        server = replace(
+            IVY_BRIDGE,
+            name=f"IvyBridge/LLC={mb}MB",
+            llc=CacheSpec("LLC", mb * 1024 * 1024, 20, miss_penalty_cycles=167),
+        )
+        points.append(_measure(server, base, workload_factory, f"LLC={mb}MB"))
+    return points
+
+
+def sweep_core_width(
+    base: RunSpec, workload_factory, ideal_ipcs=(1.0, 1.5, 3.0)
+) -> list[SweepPoint]:
+    """Narrow the core: stalled cycles dominate anyway (claim c)."""
+    points = []
+    for ideal in ideal_ipcs:
+        server = replace(
+            IVY_BRIDGE,
+            name=f"IvyBridge/ideal={ideal}",
+            retire_width=max(1, int(round(ideal * 4 / 3))),
+            ideal_ipc=ideal,
+        )
+        points.append(_measure(server, base, workload_factory, f"ideal IPC {ideal}"))
+    return points
+
+
+def render_sweep(title: str, points: list[SweepPoint]) -> str:
+    lines = [title, f"{'config':<16}{'IPC':>6}{'L1I/kI':>9}{'LLC-D/kI':>10}"]
+    for p in points:
+        lines.append(
+            f"{p.label:<16}{p.ipc:>6.2f}{p.l1i_stalls_per_ki:>9.0f}"
+            f"{p.llcd_stalls_per_ki:>10.0f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Access-skew sensitivity (an extension beyond the paper).
+
+The paper attributes HyPer's collapse to requests that "do not exhibit
+data locality" (Section 8).  The natural follow-up it leaves open: how
+much skew does it take to bring the compiled engine back?  This
+extension sweeps a Zipf-like skew over the micro-benchmark keys and
+measures the IPC recovery as the hot set shrinks into the LLC.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.engines.common import TableSpec
+from repro.storage.record import microbench_schema
+from repro.workloads.base import TxnBody, Workload
+from repro.workloads.keys import zipf_key
+from repro.workloads.microbench import BYTES_PER_ROW, TABLE
+
+
+class SkewedMicroBenchmark(Workload):
+    """Read-only micro-benchmark with Zipf-distributed key popularity."""
+
+    def __init__(self, *, db_bytes: int, theta: float, rows_per_txn: int = 1) -> None:
+        self.n_rows = max(1000, db_bytes // BYTES_PER_ROW)
+        self.theta = theta
+        self.rows_per_txn = rows_per_txn
+        self.name = f"micro_zipf_{theta}"
+
+    def table_specs(self) -> list[TableSpec]:
+        return [TableSpec(TABLE, microbench_schema(), self.n_rows)]
+
+    def next_transaction(
+        self,
+        rng: random.Random,
+        *,
+        partition: int | None = None,
+        n_partitions: int = 1,
+    ) -> tuple[str, TxnBody]:
+        lo, hi = self.partition_range(self.n_rows, partition, n_partitions)
+        if self.theta <= 0.0:
+            keys = [lo + rng.randrange(hi - lo) for _ in range(self.rows_per_txn)]
+        else:
+            keys = [
+                lo + zipf_key(rng, hi - lo, self.theta) for _ in range(self.rows_per_txn)
+            ]
+
+        def body(txn) -> None:
+            for key in keys:
+                txn.read(TABLE, key)
+
+        return self.name, body
+
+
+@dataclass(frozen=True)
+class SkewPoint:
+    theta: float
+    ipc: float
+    llcd_stalls_per_ki: float
+
+
+def sweep_skew(
+    system: str = "hyper",
+    *,
+    db_bytes: int = 100 << 30,
+    thetas=(0.0, 0.5, 0.8, 0.95),
+    quick: bool = True,
+) -> list[SkewPoint]:
+    """IPC/LLC-D trajectory as key popularity concentrates."""
+    from repro.bench.runner import ExperimentRunner, RunSpec
+
+    points = []
+    for theta in thetas:
+        spec = RunSpec(system=system)
+        if quick:
+            spec = spec.quick()
+        result = ExperimentRunner(
+            spec, lambda t=theta: SkewedMicroBenchmark(db_bytes=db_bytes, theta=t)
+        ).run()
+        points.append(
+            SkewPoint(
+                theta=theta,
+                ipc=result.ipc,
+                llcd_stalls_per_ki=result.stalls_per_kilo_instruction.llcd,
+            )
+        )
+    return points
+
+
+def render_skew(points: list[SkewPoint]) -> str:
+    lines = ["Zipf skew sweep", f"{'theta':>6}{'IPC':>7}{'LLC-D/kI':>10}"]
+    for p in points:
+        lines.append(f"{p.theta:>6.2f}{p.ipc:>7.2f}{p.llcd_stalls_per_ki:>10.0f}")
+    return "\n".join(lines)

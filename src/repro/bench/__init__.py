@@ -1,0 +1,36 @@
+"""Benchmark harness: experiment runner, figure registry, reporting."""
+
+from repro.bench.results import (
+    FigureResult,
+    IPC,
+    PERCENT_ENGINE,
+    STALLS_PER_KI,
+    STALLS_PER_TXN,
+)
+from repro.bench.runner import (
+    ExperimentRunner,
+    RunResult,
+    RunSpec,
+    prewarm_llc,
+)
+from repro.bench.report import render_figure, render_summary_line, render_table1
+from repro.bench.validate import Check, render_checks, validate_all, validate_figure
+
+__all__ = [
+    "Check",
+    "ExperimentRunner",
+    "FigureResult",
+    "IPC",
+    "PERCENT_ENGINE",
+    "RunResult",
+    "RunSpec",
+    "STALLS_PER_KI",
+    "STALLS_PER_TXN",
+    "prewarm_llc",
+    "render_figure",
+    "render_checks",
+    "render_summary_line",
+    "render_table1",
+    "validate_all",
+    "validate_figure",
+]

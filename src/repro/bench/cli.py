@@ -1,0 +1,81 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro.bench fig1 [fig2 ...] [--quick]
+    python -m repro.bench all --quick
+    python -m repro.bench validate --quick   # audit every figure's shape
+    repro-bench table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import ALL_IDS, run_figure
+from repro.bench.report import render_figure
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate tables/figures of 'Micro-architectural Analysis of "
+            "In-memory OLTP' (SIGMOD 2016) on the simulated server."
+        ),
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        help=f"figure ids ({', '.join(ALL_IDS)}), 'all', or 'validate'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced budgets and a single repetition (tests / smoke runs)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.figures == ["validate"]:
+        from repro.bench.validate import render_checks, validate_all
+
+        checks = validate_all(quick=args.quick)
+        print(render_checks(checks))
+        return 0 if all(c.passed for c in checks) else 1
+
+    ids = ALL_IDS if "all" in args.figures else args.figures
+    status = 0
+    for figure_id in ids:
+        started = time.time()
+        try:
+            output = run_figure(figure_id, quick=args.quick)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            status = 2
+            continue
+        if isinstance(output, str):
+            print(output)
+        else:
+            for panel in output:
+                print(render_figure(panel))
+                print()
+        print(f"[{figure_id} regenerated in {time.time() - started:.1f}s]")
+        print()
+    return status
+
+
+def console_main() -> int:  # pragma: no cover - thin wrapper
+    """Entry point that tolerates closed pipes (``repro-bench ... | head``)."""
+    try:
+        return main()
+    except BrokenPipeError:
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(console_main())

@@ -1,0 +1,172 @@
+"""Shared builders for the per-figure regeneration modules.
+
+Every figure in the paper is a sweep of (systems x one x-axis) reporting
+one metric; these helpers build those sweeps so each ``figNN`` module
+only states *what the figure varies*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.results import FigureResult
+from repro.bench.runner import ExperimentRunner, RunResult, RunSpec
+from repro.engines.config import EngineConfig
+from repro.engines.registry import ALL_SYSTEMS, PAPER_LABELS, canonical_name
+from repro.storage.record import ColumnType, LONG
+from repro.workloads.base import PAPER_DB_SIZES
+from repro.workloads.microbench import MicroBenchmark
+from repro.workloads.tpcb import TPCB
+from repro.workloads.tpcc import TPCC
+
+MICRO_SIZES = list(PAPER_DB_SIZES)  # ["1MB", "10MB", "10GB", "100GB"]
+ROWS_SWEEP = [1, 10, 100]
+TPC_DB_BYTES = 100 << 30
+MULTITHREADED_SYSTEMS = ["shore-mt", "dbms-d", "voltdb", "dbms-m"]
+"""Section 7 drops HyPer (its demo is single-threaded only)."""
+
+MULTITHREADED_CORES = 4
+"""Workers per multi-threaded run (one partition per worker)."""
+
+
+def engine_config_for(system: str, workload: str, **overrides) -> EngineConfig:
+    """The paper's per-system configuration for a workload.
+
+    DBMS M uses its hash index for the micro-benchmarks and TPC-B and
+    its cache-conscious B-tree for TPC-C (Section 3).
+    """
+    kwargs: dict = {"materialize_threshold": 0}
+    if canonical_name(system) == "dbms-m" and workload == "tpcc":
+        kwargs["index_kind"] = "cc_btree"
+    kwargs.update(overrides)
+    return EngineConfig(**kwargs)
+
+
+def run_cell(
+    system: str,
+    workload_factory: Callable,
+    *,
+    quick: bool = False,
+    engine_config: EngineConfig | None = None,
+    n_cores: int = 1,
+) -> RunResult:
+    spec = RunSpec(
+        system=canonical_name(system),
+        engine_config=engine_config or EngineConfig(materialize_threshold=0),
+        n_cores=n_cores,
+    )
+    if quick:
+        spec = spec.quick()
+    return ExperimentRunner(spec, workload_factory).run()
+
+
+def labels(systems: list[str]) -> list[str]:
+    return [PAPER_LABELS[canonical_name(s)] for s in systems]
+
+
+def micro_size_sweep(
+    figure_id: str,
+    title: str,
+    metric: str,
+    *,
+    read_write: bool,
+    quick: bool = False,
+    sizes: list[str] | None = None,
+    systems: list[str] | None = None,
+) -> FigureResult:
+    """Figures 1-3 / 20-22: database-size sweep of the micro-benchmark."""
+    sizes = sizes or MICRO_SIZES
+    systems = systems or list(ALL_SYSTEMS)
+    figure = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        metric=metric,
+        x_label="database size",
+        x_values=sizes,
+        systems=labels(systems),
+    )
+    for system in systems:
+        for size in sizes:
+            db_bytes = PAPER_DB_SIZES[size]
+            factory = lambda b=db_bytes: MicroBenchmark(
+                db_bytes=b, rows_per_txn=1, read_write=read_write
+            )
+            result = run_cell(
+                system, factory, quick=quick,
+                engine_config=engine_config_for(system, "micro"),
+            )
+            figure.add(PAPER_LABELS[canonical_name(system)], size, result)
+    return figure
+
+
+def micro_rows_sweep(
+    figure_id: str,
+    title: str,
+    metric: str,
+    *,
+    read_write: bool,
+    quick: bool = False,
+    rows_values: list[int] | None = None,
+    systems: list[str] | None = None,
+    column_type: ColumnType = LONG,
+    engine_config_fn: Callable[[str], EngineConfig] | None = None,
+) -> FigureResult:
+    """Figures 4-7 / 23-25: work-per-transaction sweep at 100 GB."""
+    rows_values = rows_values or ROWS_SWEEP
+    systems = systems or list(ALL_SYSTEMS)
+    figure = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        metric=metric,
+        x_label="rows per txn",
+        x_values=[str(r) for r in rows_values],
+        systems=labels(systems),
+    )
+    for system in systems:
+        config = (
+            engine_config_fn(system) if engine_config_fn
+            else engine_config_for(system, "micro")
+        )
+        for rows in rows_values:
+            factory = lambda r=rows: MicroBenchmark(
+                db_bytes=TPC_DB_BYTES, rows_per_txn=r,
+                read_write=read_write, column_type=column_type,
+            )
+            result = run_cell(system, factory, quick=quick, engine_config=config)
+            figure.add(PAPER_LABELS[canonical_name(system)], str(rows), result)
+    return figure
+
+
+def tpc_sweep(
+    figure_id: str,
+    title: str,
+    metric: str,
+    *,
+    benchmark: str,
+    quick: bool = False,
+    systems: list[str] | None = None,
+    n_cores: int = 1,
+) -> FigureResult:
+    """Figures 8-12 / 16-19: TPC-B or TPC-C at 100 GB scale."""
+    systems = systems or list(ALL_SYSTEMS)
+    figure = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        metric=metric,
+        x_label="benchmark",
+        x_values=[benchmark.upper().replace("TPC", "TPC-")],
+        systems=labels(systems),
+    )
+    x = figure.x_values[0]
+    for system in systems:
+        if benchmark == "tpcb":
+            factory = lambda: TPCB(db_bytes=TPC_DB_BYTES)
+        else:
+            factory = lambda: TPCC(db_bytes=TPC_DB_BYTES)
+        result = run_cell(
+            system, factory, quick=quick,
+            engine_config=engine_config_for(system, benchmark),
+            n_cores=n_cores,
+        )
+        figure.add(PAPER_LABELS[canonical_name(system)], x, result)
+    return figure

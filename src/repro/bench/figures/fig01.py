@@ -1,0 +1,22 @@
+"""Figure 1: Effect of database size on the IPC value (read-only).
+
+Micro-benchmark, 1 row per transaction, all five systems.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import micro_size_sweep
+from repro.bench.results import FigureResult, IPC
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        micro_size_sweep(
+            "Figure 1",
+            "Effect of database size on the IPC value (read-only)",
+            IPC,
+            read_write=False,
+            quick=quick,
+            sizes=None,
+        )
+    ]

@@ -1,0 +1,22 @@
+"""Figure 2: Stall cycles per 1000 instructions vs database size (read-only).
+
+Micro-benchmark, 1 row per transaction, all five systems.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import micro_size_sweep
+from repro.bench.results import FigureResult, STALLS_PER_KI
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        micro_size_sweep(
+            "Figure 2",
+            "Stall cycles per 1000 instructions vs database size (read-only)",
+            STALLS_PER_KI,
+            read_write=False,
+            quick=quick,
+            sizes=None,
+        )
+    ]

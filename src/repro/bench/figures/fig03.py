@@ -1,0 +1,22 @@
+"""Figure 3: Stall cycles per transaction, 100GB database (read-only).
+
+Micro-benchmark, 1 row per transaction, all five systems.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import micro_size_sweep
+from repro.bench.results import FigureResult, STALLS_PER_TXN
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        micro_size_sweep(
+            "Figure 3",
+            "Stall cycles per transaction, 100GB database (read-only)",
+            STALLS_PER_TXN,
+            read_write=False,
+            quick=quick,
+            sizes=['100GB'],
+        )
+    ]

@@ -1,0 +1,21 @@
+"""Figure 4: Effect of work per transaction on the IPC value (read-only, 100GB).
+
+Micro-benchmark on the 100 GB database, rows/txn swept over 1, 10, 100.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import micro_rows_sweep
+from repro.bench.results import FigureResult, IPC
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        micro_rows_sweep(
+            "Figure 4",
+            "Effect of work per transaction on the IPC value (read-only, 100GB)",
+            IPC,
+            read_write=False,
+            quick=quick,
+        )
+    ]

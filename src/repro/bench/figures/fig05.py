@@ -1,0 +1,21 @@
+"""Figure 5: Stall cycles per 1000 instructions vs rows per transaction (read-only, 100GB).
+
+Micro-benchmark on the 100 GB database, rows/txn swept over 1, 10, 100.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import micro_rows_sweep
+from repro.bench.results import FigureResult, STALLS_PER_KI
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        micro_rows_sweep(
+            "Figure 5",
+            "Stall cycles per 1000 instructions vs rows per transaction (read-only, 100GB)",
+            STALLS_PER_KI,
+            read_write=False,
+            quick=quick,
+        )
+    ]

@@ -1,0 +1,21 @@
+"""Figure 6: Stall cycles per transaction vs rows per transaction (read-only, 100GB).
+
+Micro-benchmark on the 100 GB database, rows/txn swept over 1, 10, 100.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import micro_rows_sweep
+from repro.bench.results import FigureResult, STALLS_PER_TXN
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        micro_rows_sweep(
+            "Figure 6",
+            "Stall cycles per transaction vs rows per transaction (read-only, 100GB)",
+            STALLS_PER_TXN,
+            read_write=False,
+            quick=quick,
+        )
+    ]

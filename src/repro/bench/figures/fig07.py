@@ -1,0 +1,28 @@
+"""Figure 7: percentage of execution time inside the OLTP engine.
+
+Micro-benchmark (read-only) at 100 GB, rows/txn swept over 1, 10, 100;
+the paper shows DBMS D, VoltDB and DBMS M.  The percentage comes from
+the profiler's per-code-module cycle attribution, grouping modules into
+engine vs everything outside it (best-effort categorisation, like the
+paper's VTune module breakdown).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import micro_rows_sweep
+from repro.bench.results import FigureResult, PERCENT_ENGINE
+
+SYSTEMS = ["dbms-d", "voltdb", "dbms-m"]
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        micro_rows_sweep(
+            "Figure 7",
+            "% of time inside the OLTP engine vs rows per transaction",
+            PERCENT_ENGINE,
+            read_write=False,
+            quick=quick,
+            systems=SYSTEMS,
+        )
+    ]

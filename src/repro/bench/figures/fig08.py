@@ -1,0 +1,21 @@
+"""Figure 8: The IPC values while running TPC-B.
+
+100 GB-scale TPC-B database, single worker thread.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import tpc_sweep
+from repro.bench.results import FigureResult, IPC
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        tpc_sweep(
+            "Figure 8",
+            "The IPC values while running TPC-B",
+            IPC,
+            benchmark="tpcb",
+            quick=quick,
+        )
+    ]

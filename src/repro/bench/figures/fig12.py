@@ -1,0 +1,21 @@
+"""Figure 12: Stall cycles per transaction while running TPC-C.
+
+100 GB-scale TPC-C database, single worker thread.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import tpc_sweep
+from repro.bench.results import FigureResult, STALLS_PER_TXN
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        tpc_sweep(
+            "Figure 12",
+            "Stall cycles per transaction while running TPC-C",
+            STALLS_PER_TXN,
+            benchmark="tpcc",
+            quick=quick,
+        )
+    ]

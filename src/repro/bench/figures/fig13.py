@@ -1,0 +1,59 @@
+"""Figure 13: index type x compilation, micro-benchmark (read-only).
+
+Section 6.1: DBMS M is the one system that exposes both knobs — hash
+index vs cache-conscious B-tree, compilation on vs off.  Workload is
+the read-only micro-benchmark probing 10 rows per transaction over the
+100 GB database.  Expected shapes: compilation roughly halves the
+instruction stalls for either index, and the B-tree's LLC data stalls
+run 2-4x the hash index's (a tree probe chases many more pointers than
+a bucket lookup).
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import TPC_DB_BYTES, run_cell
+from repro.bench.results import FigureResult, STALLS_PER_KI
+from repro.engines.config import EngineConfig
+from repro.workloads.microbench import MicroBenchmark
+
+CONFIGS = [
+    ("Hash w/ compilation", "hash", True),
+    ("Hash w/o compilation", "hash", False),
+    ("B-tree w/ compilation", "cc_btree", True),
+    ("B-tree w/o compilation", "cc_btree", False),
+]
+
+ROWS_PER_TXN = 10
+
+
+def run_variant(
+    figure_id: str, title: str, *, read_write: bool, quick: bool = False
+) -> FigureResult:
+    figure = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        metric=STALLS_PER_KI,
+        x_label="configuration",
+        x_values=[label for label, _, _ in CONFIGS],
+        systems=["DBMS M"],
+    )
+    for label, index_kind, compilation in CONFIGS:
+        config = EngineConfig(
+            index_kind=index_kind, compilation=compilation, materialize_threshold=0
+        )
+        factory = lambda: MicroBenchmark(
+            db_bytes=TPC_DB_BYTES, rows_per_txn=ROWS_PER_TXN, read_write=read_write
+        )
+        figure.add("DBMS M", label, run_cell("dbms-m", factory, quick=quick, engine_config=config))
+    return figure
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        run_variant(
+            "Figure 13",
+            "Stalls/kI for index structures with/without compilation (micro, read-only)",
+            read_write=False,
+            quick=quick,
+        )
+    ]

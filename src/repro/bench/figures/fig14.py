@@ -1,0 +1,34 @@
+"""Figure 14: index type x compilation while running TPC-C.
+
+Section 6.1's TPC-C counterpart of Figure 13 (DBMS M only).  Expected
+shapes: compilation cuts instruction stalls for both index types — and
+without compilation the B-tree's instruction stalls are much higher
+than the hash index's; data stalls stay small because TPC-C makes far
+fewer random reads than the micro-benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import TPC_DB_BYTES, run_cell
+from repro.bench.figures.fig13 import CONFIGS
+from repro.bench.results import FigureResult, STALLS_PER_KI
+from repro.engines.config import EngineConfig
+from repro.workloads.tpcc import TPCC
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    figure = FigureResult(
+        figure_id="Figure 14",
+        title="Stalls/kI for index structures with/without compilation (TPC-C)",
+        metric=STALLS_PER_KI,
+        x_label="configuration",
+        x_values=[label for label, _, _ in CONFIGS],
+        systems=["DBMS M"],
+    )
+    for label, index_kind, compilation in CONFIGS:
+        config = EngineConfig(
+            index_kind=index_kind, compilation=compilation, materialize_threshold=0
+        )
+        factory = lambda: TPCC(db_bytes=TPC_DB_BYTES)
+        figure.add("DBMS M", label, run_cell("dbms-m", factory, quick=quick, engine_config=config))
+    return [figure]

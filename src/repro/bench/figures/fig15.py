@@ -1,0 +1,56 @@
+"""Figure 15: String vs Long data types, micro-benchmark (read-only).
+
+Section 6.2: the micro-benchmark's two Long columns are swapped for two
+50-byte Strings (VoltDB, HyPer, DBMS M; 1 row per transaction, 100 GB).
+Expected shapes: LLC data stalls are *lower* for String than Long on
+the tree-indexed systems — a 50-byte value spans most of a cache line,
+so comparisons re-use fetched lines (better spatial locality) — while
+hash-indexed DBMS M shows no significant difference.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import TPC_DB_BYTES, engine_config_for, run_cell
+from repro.bench.results import FigureResult, STALLS_PER_KI
+from repro.engines.registry import PAPER_LABELS, canonical_name
+from repro.storage.record import LONG, STRING50
+from repro.workloads.microbench import MicroBenchmark
+
+SYSTEMS = ["voltdb", "hyper", "dbms-m"]
+TYPES = [("String", STRING50), ("Long", LONG)]
+
+
+def run_variant(
+    figure_id: str, title: str, *, read_write: bool, quick: bool = False
+) -> FigureResult:
+    figure = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        metric=STALLS_PER_KI,
+        x_label="data type",
+        x_values=[label for label, _ in TYPES],
+        systems=[PAPER_LABELS[s] for s in SYSTEMS],
+    )
+    for system in SYSTEMS:
+        for label, column_type in TYPES:
+            factory = lambda ct=column_type: MicroBenchmark(
+                db_bytes=TPC_DB_BYTES, rows_per_txn=1,
+                read_write=read_write, column_type=ct,
+            )
+            result = run_cell(
+                system, factory, quick=quick,
+                engine_config=engine_config_for(system, "micro"),
+            )
+            figure.add(PAPER_LABELS[canonical_name(system)], label, result)
+    return figure
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        run_variant(
+            "Figure 15",
+            "Stalls/kI for String and Long data types (micro, read-only)",
+            read_write=False,
+            quick=quick,
+        )
+    ]

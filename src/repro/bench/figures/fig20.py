@@ -1,0 +1,22 @@
+"""Figure 20: Effect of database size on the IPC value (read-write, appendix).
+
+Micro-benchmark, 1 row per transaction, all five systems.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import micro_size_sweep
+from repro.bench.results import FigureResult, IPC
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        micro_size_sweep(
+            "Figure 20",
+            "Effect of database size on the IPC value (read-write, appendix)",
+            IPC,
+            read_write=True,
+            quick=quick,
+            sizes=None,
+        )
+    ]

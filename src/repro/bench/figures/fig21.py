@@ -1,0 +1,22 @@
+"""Figure 21: Stall cycles per 1000 instructions vs database size (read-write, appendix).
+
+Micro-benchmark, 1 row per transaction, all five systems.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import micro_size_sweep
+from repro.bench.results import FigureResult, STALLS_PER_KI
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        micro_size_sweep(
+            "Figure 21",
+            "Stall cycles per 1000 instructions vs database size (read-write, appendix)",
+            STALLS_PER_KI,
+            read_write=True,
+            quick=quick,
+            sizes=None,
+        )
+    ]

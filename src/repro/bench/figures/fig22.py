@@ -1,0 +1,22 @@
+"""Figure 22: Stall cycles per transaction, 100GB database (read-write, appendix).
+
+Micro-benchmark, 1 row per transaction, all five systems.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import micro_size_sweep
+from repro.bench.results import FigureResult, STALLS_PER_TXN
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        micro_size_sweep(
+            "Figure 22",
+            "Stall cycles per transaction, 100GB database (read-write, appendix)",
+            STALLS_PER_TXN,
+            read_write=True,
+            quick=quick,
+            sizes=['100GB'],
+        )
+    ]

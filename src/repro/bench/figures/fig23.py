@@ -1,0 +1,21 @@
+"""Figure 23: Effect of work per transaction on the IPC value (read-write, appendix).
+
+Micro-benchmark on the 100 GB database, rows/txn swept over 1, 10, 100.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.common import micro_rows_sweep
+from repro.bench.results import FigureResult, IPC
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        micro_rows_sweep(
+            "Figure 23",
+            "Effect of work per transaction on the IPC value (read-write, appendix)",
+            IPC,
+            read_write=True,
+            quick=quick,
+        )
+    ]

@@ -1,0 +1,20 @@
+"""Figure 26: index type x compilation, micro-benchmark (read-write).
+
+Appendix A.3's read-write counterpart of Figure 13.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.fig13 import run_variant
+from repro.bench.results import FigureResult
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        run_variant(
+            "Figure 26",
+            "Stalls/kI for index structures with/without compilation (micro, read-write)",
+            read_write=True,
+            quick=quick,
+        )
+    ]

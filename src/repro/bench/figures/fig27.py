@@ -1,0 +1,22 @@
+"""Figure 27: String vs Long data types, micro-benchmark (read-write).
+
+Appendix A.3's read-write counterpart of Figure 15; the String/Long
+data-stall gap narrows because the update's write re-uses the line the
+read just fetched.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures.fig15 import run_variant
+from repro.bench.results import FigureResult
+
+
+def run(quick: bool = False) -> list[FigureResult]:
+    return [
+        run_variant(
+            "Figure 27",
+            "Stalls/kI for String and Long data types (micro, read-write)",
+            read_write=True,
+            quick=quick,
+        )
+    ]

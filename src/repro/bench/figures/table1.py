@@ -1,0 +1,14 @@
+"""Table 1: server parameters of the simulated machine.
+
+Not an experiment — it prints the hardware configuration every other
+figure runs on, mirroring the paper's Table 1 exactly.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import render_table1
+from repro.core.spec import IVY_BRIDGE
+
+
+def run(quick: bool = False) -> str:
+    return render_table1(IVY_BRIDGE)

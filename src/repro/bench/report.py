@@ -1,0 +1,78 @@
+"""Text rendering of regenerated figures.
+
+The harness prints the same rows/series the paper's figures plot:
+IPC tables, six-component stall breakdowns (side by side, the paper's
+convention), and the Figure 7 engine-time percentages.
+"""
+
+from __future__ import annotations
+
+from repro.bench.results import FigureResult, IPC, PERCENT_ENGINE, STALLS_PER_KI
+from repro.core.metrics import COMPONENT_LABELS, STALL_COMPONENTS
+from repro.core.spec import ServerSpec, table1_rows
+
+
+def _rule(width: int) -> str:
+    return "-" * width
+
+
+def render_table1(spec: ServerSpec) -> str:
+    rows = table1_rows(spec)
+    key_width = max(len(k) for k, _ in rows)
+    lines = ["Table 1: Server Parameters", _rule(60)]
+    lines += [f"{k:<{key_width}}  {v}" for k, v in rows]
+    return "\n".join(lines)
+
+
+def render_figure(figure: FigureResult) -> str:
+    """Render a figure as aligned text tables."""
+    if figure.metric in (IPC, PERCENT_ENGINE):
+        body = _render_scalar(figure)
+    else:
+        body = _render_stalls(figure)
+    header = f"{figure.figure_id}: {figure.title}"
+    parts = [header, _rule(len(header)), body]
+    if figure.notes:
+        parts.append("")
+        parts.extend(f"note: {n}" for n in figure.notes)
+    return "\n".join(parts)
+
+
+def _render_scalar(figure: FigureResult) -> str:
+    unit = "IPC" if figure.metric == IPC else "% in engine"
+    sys_width = max(len(s) for s in figure.systems + ["system"])
+    col_width = max(7, max(len(x) for x in figure.x_values) + 1)
+    head = f"{'system':<{sys_width}}" + "".join(f"{x:>{col_width}}" for x in figure.x_values)
+    lines = [f"metric: {unit} (x: {figure.x_label})", head]
+    for system in figure.systems:
+        cells = "".join(f"{figure.value(system, x):>{col_width}.2f}" for x in figure.x_values)
+        lines.append(f"{system:<{sys_width}}{cells}")
+    return "\n".join(lines)
+
+
+def _render_stalls(figure: FigureResult) -> str:
+    per = "1000 instructions" if figure.metric == STALLS_PER_KI else "transaction"
+    sys_width = max(len(s) for s in figure.systems + ["system"]) + 1
+    x_width = max(len(x) for x in figure.x_values + [figure.x_label]) + 1
+    comp_width = 9
+    head = (
+        f"{'system':<{sys_width}}{figure.x_label:<{x_width}}"
+        + "".join(f"{COMPONENT_LABELS[c]:>{comp_width}}" for c in STALL_COMPONENTS)
+        + f"{'total':>{comp_width}}"
+    )
+    lines = [f"metric: stall cycles per {per} (components side by side)", head]
+    for system in figure.systems:
+        for x in figure.x_values:
+            b = figure.breakdown(system, x)
+            cells = "".join(f"{getattr(b, c):>{comp_width}.0f}" for c in STALL_COMPONENTS)
+            lines.append(f"{system:<{sys_width}}{x:<{x_width}}{cells}{b.total:>{comp_width}.0f}")
+    return "\n".join(lines)
+
+
+def render_summary_line(figure: FigureResult) -> str:
+    """One-line digest (used by the benchmark harness logs)."""
+    spans = []
+    for system in figure.systems:
+        values = figure.series(system)
+        spans.append(f"{system}={min(values):.2f}..{max(values):.2f}")
+    return f"{figure.figure_id} [{figure.metric}] " + "  ".join(spans)

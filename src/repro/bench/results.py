@@ -1,0 +1,55 @@
+"""Result containers for regenerated figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.runner import RunResult
+from repro.core.metrics import StallBreakdown
+
+IPC = "ipc"
+STALLS_PER_KI = "stalls_per_kilo_instruction"
+STALLS_PER_TXN = "stalls_per_transaction"
+PERCENT_ENGINE = "percent_in_engine"
+
+METRIC_KINDS = (IPC, STALLS_PER_KI, STALLS_PER_TXN, PERCENT_ENGINE)
+
+
+@dataclass
+class FigureResult:
+    """One regenerated figure: systems x x-axis values of one metric."""
+
+    figure_id: str
+    title: str
+    metric: str
+    x_label: str
+    x_values: list[str]
+    systems: list[str]
+    cells: dict[tuple[str, str], RunResult] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, system: str, x: str, result: RunResult) -> None:
+        self.cells[(system, x)] = result
+
+    def result(self, system: str, x: str) -> RunResult:
+        return self.cells[(system, x)]
+
+    def value(self, system: str, x: str) -> float:
+        """Scalar value of the figure's metric for one cell."""
+        r = self.cells[(system, x)]
+        if self.metric == IPC:
+            return r.ipc
+        if self.metric == PERCENT_ENGINE:
+            return 100.0 * r.engine_time_fraction()
+        return self.breakdown(system, x).total
+
+    def breakdown(self, system: str, x: str) -> StallBreakdown:
+        r = self.cells[(system, x)]
+        if self.metric == STALLS_PER_KI:
+            return r.stalls_per_kilo_instruction
+        if self.metric == STALLS_PER_TXN:
+            return r.stalls_per_transaction
+        raise ValueError(f"metric {self.metric} has no stall breakdown")
+
+    def series(self, system: str) -> list[float]:
+        return [self.value(system, x) for x in self.x_values]

@@ -1,0 +1,247 @@
+"""Experiment runner: the paper's measurement methodology, simulated.
+
+The paper's procedure (Section 3, "Measurements"): populate from
+scratch, run a 60-second warm-up, profile a 30-second steady-state
+window filtered to the worker thread(s), repeat three times and average.
+The simulator's equivalent:
+
+* build a fresh engine + workload per repetition (populate);
+* **prewarm** the shared LLC with the workload's hot data regions
+  (steady state on real hardware has the hot set resident; replaying
+  enough transactions to fill a 20 MB LLC from cold would dominate
+  simulation time, so residency is installed directly — hottest
+  regions last, i.e. most-recently-used);
+* run warm-up transactions until the private caches and branch state
+  reach steady state (an *event* budget, so code-heavy engines get the
+  same cache pressure as lean ones);
+* open a profiler window and run measured transactions for the
+  measurement budget;
+* repeat with fresh seeds and average counters.
+
+Multi-threaded runs (Section 7) place one worker per simulated core,
+interleave whole transactions round-robin, home partitioned engines'
+transactions to the worker's partition (single-sited, as the paper
+configures VoltDB), and report per-worker average counters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.counters import PerfCounters
+from repro.core.cpu import DEFAULT_OVERLAP, OverlapModel
+from repro.core.machine import Machine
+from repro.core.metrics import (
+    StallBreakdown,
+    ipc as ipc_of,
+    stalls_per_kilo_instruction,
+    stalls_per_transaction,
+)
+from repro.core.profiler import Profiler
+from repro.core.spec import IVY_BRIDGE, ServerSpec
+from repro.engines.config import EngineConfig
+from repro.engines.registry import make_engine
+from repro.workloads.base import Workload
+
+DEFAULT_MEASURE_EVENTS = 220_000
+DEFAULT_WARMUP_EVENTS = 90_000
+QUICK_MEASURE_EVENTS = 70_000
+QUICK_WARMUP_EVENTS = 30_000
+MIN_MEASURED_TXNS = 24
+MIN_WARMUP_TXNS = 8
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One experiment cell: a system running a workload configuration."""
+
+    system: str
+    engine_config: EngineConfig = field(default_factory=lambda: EngineConfig(materialize_threshold=0))
+    n_cores: int = 1
+    measure_events: int = DEFAULT_MEASURE_EVENTS
+    warmup_events: int = DEFAULT_WARMUP_EVENTS
+    repetitions: int = 3
+    seed: int = 42
+    server: ServerSpec = IVY_BRIDGE
+    overlap: OverlapModel = DEFAULT_OVERLAP
+    # dTLB/page-walk surcharge per serial LLC miss; None = model default.
+    serial_miss_extra_cycles: int | None = None
+    # "constant" charges the calibrated surcharge; "measured" charges
+    # simulated dTLB page walks instead (see repro.core.tlb).
+    tlb_mode: str = "constant"
+    tlb_spec: object | None = None
+
+    def quick(self) -> "RunSpec":
+        """Reduced-budget variant for tests and --quick runs."""
+        return RunSpec(
+            system=self.system,
+            engine_config=self.engine_config,
+            n_cores=self.n_cores,
+            measure_events=QUICK_MEASURE_EVENTS,
+            warmup_events=QUICK_WARMUP_EVENTS,
+            repetitions=1,
+            seed=self.seed,
+            server=self.server,
+            overlap=self.overlap,
+            serial_miss_extra_cycles=self.serial_miss_extra_cycles,
+            tlb_mode=self.tlb_mode,
+            tlb_spec=self.tlb_spec,
+        )
+
+
+@dataclass
+class RunResult:
+    """Averaged measurement-window results for one cell."""
+
+    system: str
+    counters: PerfCounters
+    module_cycles: dict[str, float]
+    module_groups: dict[str, str]
+    server: ServerSpec
+    measured_txns: int
+
+    @property
+    def ipc(self) -> float:
+        return ipc_of(self.counters)
+
+    @property
+    def stalls_per_kilo_instruction(self) -> StallBreakdown:
+        return stalls_per_kilo_instruction(self.counters, self.server)
+
+    @property
+    def stalls_per_transaction(self) -> StallBreakdown:
+        return stalls_per_transaction(self.counters, self.server)
+
+    @property
+    def instructions_per_txn(self) -> float:
+        c = self.counters
+        return c.instructions / c.transactions if c.transactions else 0.0
+
+    def engine_time_fraction(self) -> float:
+        """Fraction of attributed cycles inside the OLTP engine (Fig 7)."""
+        engine = sum(
+            cyc for name, cyc in self.module_cycles.items()
+            if self.module_groups.get(name) == "engine"
+        )
+        total = sum(self.module_cycles.values())
+        return engine / total if total else 0.0
+
+
+def prewarm_llc(machine: Machine, engine) -> None:
+    """Install the workload's hot data set into the shared LLC.
+
+    Regions come hottest-first from the engine; they are replayed
+    coldest-first so the hottest lines end most-recently-used.  Regions
+    wider than the remaining budget are stride-sampled, approximating
+    the random residency steady state leaves behind.
+    """
+    llc = machine.hierarchy.llc
+    budget = llc.spec.n_lines
+    picks: list[tuple[int, int, int]] = []  # (base, count, step)
+    for base, n_lines in engine.hot_regions():
+        if budget <= 0:
+            break
+        take = min(n_lines, budget)
+        step = max(1, n_lines // take)
+        picks.append((base, take, step))
+        budget -= take
+    for base, take, step in reversed(picks):
+        fill = llc.fill
+        for i in range(take):
+            fill(base + i * step)
+
+
+class ExperimentRunner:
+    """Runs one cell: engine x workload x budgets x repetitions."""
+
+    def __init__(self, spec: RunSpec, workload_factory) -> None:
+        self.spec = spec
+        self.workload_factory = workload_factory
+
+    def run(self) -> RunResult:
+        spec = self.spec
+        total = PerfCounters()
+        module_cycles: dict[str, float] = {}
+        module_groups: dict[str, str] = {}
+        measured_txns = 0
+        for rep in range(spec.repetitions):
+            rep_result = self._run_once(seed=spec.seed + 1000 * rep)
+            total.add(rep_result.counters)
+            measured_txns += rep_result.counters.transactions
+            for name, cycles in rep_result.module_cycles.items():
+                module_cycles[name] = module_cycles.get(name, 0.0) + cycles
+            module_groups.update(rep_result.module_groups)
+        return RunResult(
+            system=spec.system,
+            counters=total,
+            module_cycles=module_cycles,
+            module_groups=module_groups,
+            server=spec.server,
+            measured_txns=measured_txns,
+        )
+
+    # -- single repetition ----------------------------------------------------
+
+    def _run_once(self, seed: int) -> RunResult:
+        spec = self.spec
+        workload: Workload = self.workload_factory()
+        config = spec.engine_config
+        if spec.n_cores > 1 and config.n_partitions == 1:
+            # Partitioned engines get one partition per worker (paper
+            # Section 3: VoltDB generates one worker per partition).
+            config = EngineConfig(
+                **{**config.__dict__, "n_partitions": spec.n_cores}
+            )
+        engine = make_engine(spec.system, config)
+        workload.setup(engine)
+        machine = Machine(
+            spec.server,
+            n_cores=spec.n_cores,
+            overlap=spec.overlap,
+            serial_miss_extra_cycles=spec.serial_miss_extra_cycles,
+            tlb_mode=spec.tlb_mode,
+            tlb_spec=spec.tlb_spec,
+        )
+        prewarm_llc(machine, engine)
+
+        rng = random.Random(seed)
+        partitioned = engine.is_partitioned and spec.n_cores > 1
+
+        def run_phase(event_budget: int, min_txns: int) -> int:
+            events = 0
+            txns = 0
+            core = 0
+            while events < event_budget or txns < min_txns:
+                partition = core if partitioned else None
+                procedure, body = workload.next_transaction(
+                    rng, partition=partition, n_partitions=spec.n_cores
+                )
+                trace = engine.execute(procedure, body, core_id=core)
+                machine.run_trace(trace, core_id=core)
+                events += len(trace)
+                txns += 1
+                core = (core + 1) % spec.n_cores
+            return txns
+
+        run_phase(spec.warmup_events, MIN_WARMUP_TXNS)
+        profiler = Profiler(machine)
+        profiler.start_window()
+        run_phase(spec.measure_events, MIN_MEASURED_TXNS)
+        window = profiler.end_window()
+
+        # Per-worker average, as the paper reports multi-threaded runs.
+        counters = window.mean_core_counters() if spec.n_cores > 1 else window.counters()
+        layout = engine.layout
+        named_cycles = {
+            layout.name_of(mod): cycles for mod, cycles in window.module_cycles.items()
+        }
+        groups = {layout.name_of(m): layout.group_of(m) for m in layout.ids()}
+        return RunResult(
+            system=spec.system,
+            counters=counters,
+            module_cycles=named_cycles,
+            module_groups=groups,
+            server=spec.server,
+            measured_txns=counters.transactions,
+        )

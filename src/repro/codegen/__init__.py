@@ -1,0 +1,25 @@
+"""Instruction-stream modelling: code modules, layout, walking, compilation."""
+
+from repro.codegen.compiler import (
+    CompilerProfile,
+    DBMS_M_COMPILER,
+    HYPER_COMPILER,
+    TransactionCompiler,
+)
+from repro.codegen.layout import CODE_SEGMENT_LINES, CodeLayout
+from repro.codegen.module import CodeModule, ENGINE, KERNEL, OTHER
+from repro.codegen.walker import CodeWalker
+
+__all__ = [
+    "CODE_SEGMENT_LINES",
+    "CodeLayout",
+    "CodeModule",
+    "CodeWalker",
+    "CompilerProfile",
+    "DBMS_M_COMPILER",
+    "ENGINE",
+    "HYPER_COMPILER",
+    "KERNEL",
+    "OTHER",
+    "TransactionCompiler",
+]

@@ -1,0 +1,79 @@
+"""Code layout: places modules in the simulated code address space.
+
+A :class:`CodeLayout` assigns each registered :class:`CodeModule` a
+dense integer id (used as the module tag on trace events) and a
+contiguous, page-aligned line-address range in a code segment that is
+disjoint from every data region (see
+:class:`~repro.storage.address_space.DataAddressSpace`, which starts
+above :data:`CODE_SEGMENT_LINES`).
+"""
+
+from __future__ import annotations
+
+from repro.codegen.module import CodeModule, ENGINE
+from repro.core.spec import CACHE_LINE_BYTES
+
+CODE_SEGMENT_LINES = 1 << 24
+"""Line addresses below this belong to code (1 GB of code space)."""
+
+_PAGE_LINES = 4096 // CACHE_LINE_BYTES  # align modules to 4 KB pages
+
+
+class CodeLayout:
+    """Registry + address allocator for an engine's code modules."""
+
+    def __init__(self) -> None:
+        self._modules: list[CodeModule] = []
+        self._base_lines: list[int] = []
+        self._by_name: dict[str, int] = {}
+        self._next_line = _PAGE_LINES  # leave page zero unmapped
+
+    def add(self, module: CodeModule) -> int:
+        """Register *module*; returns its dense module id."""
+        if module.name in self._by_name:
+            raise ValueError(f"module {module.name!r} already registered")
+        n_lines = module.footprint_lines
+        # Round each module up to a page so neighbours never share lines.
+        alloc = -(-n_lines // _PAGE_LINES) * _PAGE_LINES
+        if self._next_line + alloc > CODE_SEGMENT_LINES:
+            raise MemoryError("code segment exhausted")
+        mod_id = len(self._modules)
+        self._modules.append(module)
+        self._base_lines.append(self._next_line)
+        self._by_name[module.name] = mod_id
+        self._next_line += alloc
+        return mod_id
+
+    # -- lookups -------------------------------------------------------------
+
+    def module(self, mod_id: int) -> CodeModule:
+        return self._modules[mod_id]
+
+    def base_line(self, mod_id: int) -> int:
+        return self._base_lines[mod_id]
+
+    def id_of(self, name: str) -> int:
+        return self._by_name[name]
+
+    def name_of(self, mod_id: int) -> str:
+        return self._modules[mod_id].name
+
+    def group_of(self, mod_id: int) -> str:
+        return self._modules[mod_id].group
+
+    def ids(self) -> list[int]:
+        return list(range(len(self._modules)))
+
+    def engine_ids(self) -> list[int]:
+        return [i for i, m in enumerate(self._modules) if m.group == ENGINE]
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def total_footprint_bytes(self, group: str | None = None) -> int:
+        return sum(
+            m.footprint_bytes for m in self._modules if group is None or m.group == group
+        )

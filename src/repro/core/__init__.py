@@ -1,0 +1,70 @@
+"""Micro-architecture simulation substrate.
+
+This subpackage is the measurement half of the reproduction: a
+trace-driven model of the paper's Ivy Bridge server (Table 1) plus a
+VTune-like profiler.  Engines produce :class:`~repro.core.trace.AccessTrace`
+streams; a :class:`~repro.core.machine.Machine` replays them and the
+metrics in :mod:`repro.core.metrics` turn the resulting counters into
+the quantities the paper's figures plot.
+"""
+
+from repro.core.cache import CacheStats, SetAssociativeCache
+from repro.core.counters import PerfCounters
+from repro.core.cpu import DEFAULT_OVERLAP, CycleModel, OverlapModel
+from repro.core.hierarchy import L1, L2, LLC, MEMORY, MemoryHierarchy
+from repro.core.machine import Machine
+from repro.core.metrics import (
+    COMPONENT_LABELS,
+    STALL_COMPONENTS,
+    StallBreakdown,
+    instructions_per_transaction,
+    ipc,
+    memory_stall_fraction,
+    stall_breakdown,
+    stalls_per_kilo_instruction,
+    stalls_per_transaction,
+)
+from repro.core.profiler import Profiler, ProfileWindow
+from repro.core.spec import CACHE_LINE_BYTES, CacheSpec, IVY_BRIDGE, ServerSpec, table1_rows
+from repro.core.tlb import DataTLB, HUGE_PAGE_DTLB, IVY_BRIDGE_DTLB, TLBSpec
+from repro.core.trace import AccessTrace, DLOAD, DLOAD_SERIAL, DSTORE, IFETCH
+
+__all__ = [
+    "AccessTrace",
+    "CACHE_LINE_BYTES",
+    "COMPONENT_LABELS",
+    "CacheSpec",
+    "CacheStats",
+    "CycleModel",
+    "DataTLB",
+    "DEFAULT_OVERLAP",
+    "DLOAD",
+    "DLOAD_SERIAL",
+    "DSTORE",
+    "IFETCH",
+    "HUGE_PAGE_DTLB",
+    "IVY_BRIDGE",
+    "IVY_BRIDGE_DTLB",
+    "L1",
+    "L2",
+    "LLC",
+    "MEMORY",
+    "Machine",
+    "MemoryHierarchy",
+    "OverlapModel",
+    "PerfCounters",
+    "ProfileWindow",
+    "Profiler",
+    "STALL_COMPONENTS",
+    "ServerSpec",
+    "SetAssociativeCache",
+    "StallBreakdown",
+    "TLBSpec",
+    "instructions_per_transaction",
+    "ipc",
+    "memory_stall_fraction",
+    "stall_breakdown",
+    "stalls_per_kilo_instruction",
+    "stalls_per_transaction",
+    "table1_rows",
+]

@@ -1,0 +1,213 @@
+"""The simulated machine: cores + hierarchy + trace replay.
+
+A :class:`Machine` owns the cache hierarchy, one
+:class:`~repro.core.counters.PerfCounters` register file per core, and
+per-code-module attribution tables.  Engines execute a transaction,
+producing an :class:`~repro.core.trace.AccessTrace`, and hand it to
+:meth:`Machine.run_trace`; cache state persists across transactions so
+the replay reaches the same steady state a long profiled run would.
+
+The replay loop is the hot path of the whole reproduction — it is
+written with local-variable bindings and minimal indirection on purpose.
+"""
+
+from __future__ import annotations
+
+from repro.core.counters import PerfCounters
+from repro.core.cpu import DEFAULT_OVERLAP, CycleModel, OverlapModel
+from repro.core.hierarchy import L1, L2, MEMORY, MemoryHierarchy
+from repro.core.spec import IVY_BRIDGE, ServerSpec
+from repro.core.trace import AccessTrace, DLOAD_SERIAL, DSTORE, IFETCH
+
+# Per-module attribution table layout (one list of ints per module id).
+M_IF_L1M = 0
+M_IF_L2M = 1
+M_IF_LLCM = 2
+M_D_L1M = 3
+M_D_L2M = 4
+M_D_LLCM = 5
+M_D_SERIAL_LLCM = 6
+M_INSTR = 7
+M_COHER = 8
+M_IFETCHES = 9
+M_DACCESSES = 10
+M_BASE_CYCLES = 11  # float accumulator (no-miss cycles)
+_MODULE_FIELDS = 12
+
+
+class Machine:
+    """A simulated server executing access traces on one or more cores."""
+
+    def __init__(
+        self,
+        spec: ServerSpec = IVY_BRIDGE,
+        n_cores: int = 1,
+        overlap: OverlapModel = DEFAULT_OVERLAP,
+        *,
+        serial_miss_extra_cycles: int | None = None,
+        tlb_mode: str = "constant",
+        tlb_spec=None,
+    ) -> None:
+        self.spec = spec
+        self.n_cores = n_cores
+        hier_kwargs = {}
+        if tlb_spec is not None:
+            hier_kwargs["tlb_spec"] = tlb_spec
+        self.hierarchy = MemoryHierarchy(spec, n_cores, **hier_kwargs)
+        kwargs = {"tlb_mode": tlb_mode}
+        if serial_miss_extra_cycles is not None:
+            kwargs["serial_miss_extra_cycles"] = serial_miss_extra_cycles
+        self.cycle_model = CycleModel(spec, overlap, **kwargs)
+        self.counters = [PerfCounters() for _ in range(n_cores)]
+        # module id -> attribution row; shared across cores (module
+        # breakdown in the paper is per worker thread, and the runner
+        # uses one machine per configuration).
+        self.module_stats: dict[int, list[int]] = {}
+
+    # -- replay ------------------------------------------------------------
+
+    def run_trace(self, trace: AccessTrace, core_id: int = 0) -> PerfCounters:
+        """Replay one transaction's trace on *core_id*.
+
+        Returns the counter delta for just this transaction (cycles
+        computed by the CPU model from the misses the replay produced).
+        """
+        hierarchy = self.hierarchy
+        access_instr = hierarchy.access_instr
+        access_data = hierarchy.access_data
+        module_stats = self.module_stats
+
+        if_l1m = if_l2m = if_llcm = 0
+        d_l1m = d_l2m = d_llcm = d_serial_llcm = 0
+        n_if = n_loads = n_stores = n_coher = 0
+        walks_before = hierarchy.tlbs[core_id].walks
+
+        for kind, addr, mod in zip(trace.kinds, trace.addrs, trace.mods):
+            row = module_stats.get(mod)
+            if row is None:
+                row = [0] * _MODULE_FIELDS
+                module_stats[mod] = row
+            if kind == IFETCH:
+                n_if += 1
+                row[M_IFETCHES] += 1
+                level = access_instr(core_id, addr)
+                if level != L1:
+                    if_l1m += 1
+                    row[M_IF_L1M] += 1
+                    if level != L2:
+                        if_l2m += 1
+                        row[M_IF_L2M] += 1
+                        if level == MEMORY:
+                            if_llcm += 1
+                            row[M_IF_LLCM] += 1
+            else:
+                write = kind == DSTORE
+                if write:
+                    n_stores += 1
+                else:
+                    n_loads += 1
+                row[M_DACCESSES] += 1
+                level, transfer = access_data(core_id, addr, write)
+                if transfer:
+                    n_coher += 1
+                    row[M_COHER] += 1
+                if level != L1:
+                    d_l1m += 1
+                    row[M_D_L1M] += 1
+                    if level != L2:
+                        d_l2m += 1
+                        row[M_D_L2M] += 1
+                        if level == MEMORY:
+                            d_llcm += 1
+                            row[M_D_LLCM] += 1
+                            if kind == DLOAD_SERIAL:
+                                d_serial_llcm += 1
+                                row[M_D_SERIAL_LLCM] += 1
+
+        delta = PerfCounters(
+            instructions=trace.instructions,
+            branches=trace.branches,
+            mispredicts=trace.mispredicts,
+            transactions=1,
+            ifetches=n_if,
+            loads=n_loads,
+            stores=n_stores,
+            l1i_misses=if_l1m,
+            l2i_misses=if_l2m,
+            llci_misses=if_llcm,
+            l1d_misses=d_l1m,
+            l2d_misses=d_l2m,
+            llcd_misses=d_llcm,
+            llcd_serial_misses=d_serial_llcm,
+            coherence_misses=n_coher,
+            dtlb_walks=hierarchy.tlbs[core_id].walks - walks_before,
+        )
+        delta.cycles = self.cycle_model.cycles(delta, trace.base_cycles)
+        for mod, instrs in trace.instr_by_module.items():
+            row = module_stats.get(mod)
+            if row is None:
+                row = [0] * _MODULE_FIELDS
+                module_stats[mod] = row
+            row[M_INSTR] += instrs
+            row[M_BASE_CYCLES] += trace.base_by_module.get(mod, instrs * self.spec.base_cpi)
+        self.counters[core_id].add(delta)
+        return delta
+
+    # -- module attribution --------------------------------------------------
+
+    def module_cycles(self) -> dict[int, float]:
+        """Elapsed cycles attributed to each module id.
+
+        Uses the same overlap-adjusted model as :class:`CycleModel`,
+        applied to each module's private miss tallies; branch stalls are
+        folded into the per-instruction base cost, which is a negligible
+        approximation for the module *percentage* breakdown (Figure 7).
+        """
+        spec = self.spec
+        ov = self.cycle_model.overlap
+        p1 = spec.l1i.miss_penalty_cycles
+        p2 = spec.l2.miss_penalty_cycles
+        p3 = spec.llc.miss_penalty_cycles
+        out: dict[int, float] = {}
+        for mod, row in self.module_stats.items():
+            instr_stalls = (
+                (row[M_IF_L1M] * p1 + row[M_IF_L2M] * p2 + row[M_IF_LLCM] * p3)
+                * ov.instr
+                * self.cycle_model.frontend_refill_factor
+            )
+            llcd_parallel = row[M_D_LLCM] - row[M_D_SERIAL_LLCM]
+            data_stalls = (
+                row[M_D_L1M] * p1 * ov.l1d
+                + row[M_D_L2M] * p2 * ov.l2d
+                + llcd_parallel * p3 * ov.llcd
+                + row[M_D_SERIAL_LLCM] * p3 * ov.llcd_serial
+            )
+            coher_stalls = row[M_COHER] * p3 * ov.coherence
+            tlb_stalls = row[M_D_SERIAL_LLCM] * self.cycle_model.serial_miss_extra_cycles
+            out[mod] = (
+                row[M_BASE_CYCLES]
+                + instr_stalls
+                + data_stalls
+                + coher_stalls
+                + tlb_stalls
+            )
+        return out
+
+    def snapshot_module_stats(self) -> dict[int, list[int]]:
+        """Deep-copyable snapshot for window-delta module attribution."""
+        return {mod: list(row) for mod, row in self.module_stats.items()}
+
+    # -- maintenance ---------------------------------------------------------
+
+    def total_counters(self) -> PerfCounters:
+        total = PerfCounters()
+        for c in self.counters:
+            total.add(c)
+        return total
+
+    def reset(self) -> None:
+        """Cold caches and zeroed counters (fresh experiment repetition)."""
+        self.hierarchy.flush()
+        for c in self.counters:
+            c.reset()
+        self.module_stats.clear()

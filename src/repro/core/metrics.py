@@ -1,0 +1,126 @@
+"""Derived metrics: the quantities the paper's figures plot.
+
+Everything here is a pure function of :class:`~repro.core.counters.PerfCounters`
+and a :class:`~repro.core.spec.ServerSpec`, so metrics can be computed
+for any measurement window the profiler carves out.
+
+The six-way stall split (L1I / L2I / LLC-I / L1D / L2D / LLC-D) uses the
+paper's convention: stalls at a level are ``misses from that level x
+that level's miss penalty``, drawn side by side (not stacked), because
+overlap on an out-of-order core makes an exact additive breakdown
+impossible (Section 3, Measurements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.counters import PerfCounters
+from repro.core.spec import IVY_BRIDGE, ServerSpec
+
+STALL_COMPONENTS = ("l1i", "l2i", "llci", "l1d", "l2d", "llcd")
+"""Component order used by every figure: instruction levels then data levels."""
+
+COMPONENT_LABELS = {
+    "l1i": "L1I",
+    "l2i": "L2I",
+    "llci": "LLC I",
+    "l1d": "L1D",
+    "l2d": "L2D",
+    "llcd": "LLC D",
+}
+
+
+@dataclass(frozen=True)
+class StallBreakdown:
+    """Raw stall cycles per component over a measurement window."""
+
+    l1i: float
+    l2i: float
+    llci: float
+    l1d: float
+    l2d: float
+    llcd: float
+
+    @property
+    def instruction_total(self) -> float:
+        return self.l1i + self.l2i + self.llci
+
+    @property
+    def data_total(self) -> float:
+        return self.l1d + self.l2d + self.llcd
+
+    @property
+    def total(self) -> float:
+        return self.instruction_total + self.data_total
+
+    def scaled(self, factor: float) -> "StallBreakdown":
+        return StallBreakdown(*(getattr(self, c) * factor for c in STALL_COMPONENTS))
+
+    def as_dict(self) -> dict[str, float]:
+        return {c: getattr(self, c) for c in STALL_COMPONENTS}
+
+    def __iter__(self):
+        return iter(getattr(self, c) for c in STALL_COMPONENTS)
+
+
+def stall_breakdown(delta: PerfCounters, spec: ServerSpec = IVY_BRIDGE) -> StallBreakdown:
+    """Six-way ``misses x penalty`` stall cycles for a counter delta."""
+    p1 = spec.l1i.miss_penalty_cycles
+    p2 = spec.l2.miss_penalty_cycles
+    p3 = spec.llc.miss_penalty_cycles
+    return StallBreakdown(
+        l1i=delta.l1i_misses * p1,
+        l2i=delta.l2i_misses * p2,
+        llci=delta.llci_misses * p3,
+        l1d=delta.l1d_misses * p1,
+        l2d=delta.l2d_misses * p2,
+        llcd=delta.llcd_misses * p3,
+    )
+
+
+def ipc(delta: PerfCounters) -> float:
+    """Instructions retired per cycle over the window."""
+    return delta.instructions / delta.cycles if delta.cycles else 0.0
+
+
+def stalls_per_kilo_instruction(
+    delta: PerfCounters, spec: ServerSpec = IVY_BRIDGE
+) -> StallBreakdown:
+    """Stall cycles per 1000 retired instructions (Figures 2, 5, 9, 11...)."""
+    if not delta.instructions:
+        return StallBreakdown(0, 0, 0, 0, 0, 0)
+    return stall_breakdown(delta, spec).scaled(1000.0 / delta.instructions)
+
+
+def stalls_per_transaction(
+    delta: PerfCounters, spec: ServerSpec = IVY_BRIDGE
+) -> StallBreakdown:
+    """Stall cycles per executed transaction (Figures 3, 6, 12...)."""
+    if not delta.transactions:
+        return StallBreakdown(0, 0, 0, 0, 0, 0)
+    return stall_breakdown(delta, spec).scaled(1.0 / delta.transactions)
+
+
+def instructions_per_transaction(delta: PerfCounters) -> float:
+    return delta.instructions / delta.transactions if delta.transactions else 0.0
+
+
+def cycles_per_transaction(delta: PerfCounters) -> float:
+    return delta.cycles / delta.transactions if delta.transactions else 0.0
+
+
+def memory_stall_fraction(delta: PerfCounters, spec: ServerSpec = IVY_BRIDGE) -> float:
+    """Fraction of execution cycles not spent retiring at the ideal rate.
+
+    The paper's headline — "more than half of the execution time goes to
+    memory stalls" — is a top-down statement: cycles beyond what the
+    core would need at its ideal (miss-free) IPC are stalled.  The
+    side-by-side ``misses x penalty`` components cannot be summed into
+    this number (Section 3), so the fraction is computed from elapsed
+    cycles directly.
+    """
+    if not delta.cycles:
+        return 0.0
+    ideal_cycles = delta.instructions / spec.ideal_ipc
+    return max(0.0, 1.0 - ideal_cycles / delta.cycles)

@@ -1,0 +1,126 @@
+"""Hardware specification of the simulated server.
+
+The paper (Table 1) runs on a two-socket Intel Xeon E5-2640 v2
+(Ivy Bridge) server.  :data:`IVY_BRIDGE` mirrors that table exactly;
+every simulator component takes a :class:`ServerSpec` so alternative
+machines can be modelled (the ablation benches use that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CACHE_LINE_BYTES = 64
+"""Cache-line size used throughout the simulator (bytes)."""
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry and miss penalty of one cache level.
+
+    The *miss penalty* follows the paper's Table 1 convention: it is the
+    number of stall cycles charged for a miss *from* this level (e.g. an
+    L1 miss that hits in L2 costs 8 cycles on Ivy Bridge).
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    miss_penalty_cycles: int
+    line_bytes: int = CACHE_LINE_BYTES
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.associativity
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % self.line_bytes:
+            raise ValueError(f"{self.name}: size must be a multiple of the line size")
+        if self.n_lines % self.associativity:
+            raise ValueError(f"{self.name}: lines must divide evenly into sets")
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A multi-socket server as seen by the simulator.
+
+    Attributes mirror the paper's Table 1.  ``retire_width`` is the
+    architectural maximum instructions retired per cycle; ``ideal_ipc``
+    is the IPC the paper measured for a miss-free loop (Section 4.1.1),
+    which the CPU model uses as its no-stall baseline.
+    """
+
+    name: str
+    n_sockets: int
+    cores_per_socket: int
+    clock_ghz: float
+    memory_gb: int
+    l1i: CacheSpec
+    l1d: CacheSpec
+    l2: CacheSpec
+    llc: CacheSpec
+    retire_width: int = 4
+    ideal_ipc: float = 3.0
+    branch_misprediction_penalty: int = 15
+    line_bytes: int = CACHE_LINE_BYTES
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_sockets * self.cores_per_socket
+
+    @property
+    def base_cpi(self) -> float:
+        """Cycles per instruction with a perfect memory system."""
+        return 1.0 / self.ideal_ipc
+
+
+def _ivy_bridge() -> ServerSpec:
+    return ServerSpec(
+        name="Intel Xeon E5-2640 v2 (Ivy Bridge)",
+        n_sockets=2,
+        cores_per_socket=8,
+        clock_ghz=2.0,
+        memory_gb=256,
+        l1i=CacheSpec("L1I", 32 * 1024, 8, miss_penalty_cycles=8),
+        l1d=CacheSpec("L1D", 32 * 1024, 8, miss_penalty_cycles=8),
+        l2=CacheSpec("L2", 256 * 1024, 8, miss_penalty_cycles=19),
+        # 20 MB shared LLC; the 167-cycle penalty is the paper's average
+        # of local and remote DRAM access.
+        llc=CacheSpec("LLC", 20 * 1024 * 1024, 20, miss_penalty_cycles=167),
+    )
+
+
+IVY_BRIDGE: ServerSpec = _ivy_bridge()
+"""The server from the paper's Table 1."""
+
+
+def table1_rows(spec: ServerSpec = IVY_BRIDGE) -> list[tuple[str, str]]:
+    """Render *spec* as the (parameter, value) rows of the paper's Table 1."""
+    kb = 1024
+    return [
+        ("Processor", spec.name),
+        ("#Sockets", str(spec.n_sockets)),
+        ("#Cores per Socket", str(spec.cores_per_socket)),
+        ("#HW Contexts", str(spec.n_cores)),
+        ("Hyper-threading", "Off"),
+        ("Clock Speed", f"{spec.clock_ghz:.2f}GHz"),
+        ("Memory", f"{spec.memory_gb}GB"),
+        (
+            "L1I / L1D (per core)",
+            f"{spec.l1i.size_bytes // kb}KB / {spec.l1d.size_bytes // kb}KB, "
+            f"{spec.l1i.miss_penalty_cycles}-cycle miss latency",
+        ),
+        (
+            "L2 (per core)",
+            f"{spec.l2.size_bytes // kb}KB, {spec.l2.miss_penalty_cycles}-cycle miss latency",
+        ),
+        (
+            "LLC (shared)",
+            f"{spec.llc.size_bytes // (kb * kb)}MB, "
+            f"{spec.llc.miss_penalty_cycles}-cycle miss latency",
+        ),
+    ]

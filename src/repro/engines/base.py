@@ -1,0 +1,299 @@
+"""Engine framework: the abstract OLTP engine and its transaction API.
+
+Every system under analysis implements this interface.  A workload
+drives an engine exclusively through :meth:`Engine.execute`, handing it
+a *transaction body* — a callable that uses the uniform
+:class:`Transaction` operations (read / update / insert / scan).  The
+engine executes the body for real (values returned are the stored
+values; writes persist or roll back) while walking its own code modules
+and data structures, so the trace it returns carries the system's
+characteristic instruction and data access stream.
+
+The five concrete engines differ exactly where the paper says they do:
+component structure (outer layers vs storage manager), concurrency
+control, index structures and compilation (Sections 2.1, 3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.codegen.layout import CodeLayout
+from repro.codegen.module import CodeModule
+from repro.codegen.walker import CodeWalker
+from repro.core.trace import AccessTrace
+from repro.engines.common import EngineTable, PartitionedTable, TableSpec
+from repro.engines.config import EngineConfig
+from repro.storage.address_space import DataAddressSpace
+
+
+class TransactionAborted(Exception):
+    """Raised inside a transaction body when the engine must abort.
+
+    The engine's execute loop rolls back and retries; the aborted
+    attempt's trace events remain (wasted work is real work).
+    """
+
+
+class UserAbort(Exception):
+    """A benchmark-mandated rollback (TPC-C's 1% NewOrder aborts).
+
+    Unlike :class:`TransactionAborted` it is not retried.
+    """
+
+
+@dataclass
+class EngineStats:
+    commits: int = 0
+    aborts: int = 0
+    retries_exhausted: int = 0
+    operations: int = 0
+
+
+class Transaction(ABC):
+    """Uniform transactional operations over an engine's tables."""
+
+    def __init__(self, engine: "Engine", trace: AccessTrace, txn_id: int, procedure: str) -> None:
+        self.engine = engine
+        self.trace = trace
+        self.txn_id = txn_id
+        self.procedure = procedure
+        self.done = False
+
+    # -- operations (implemented per engine) ---------------------------------
+
+    @abstractmethod
+    def read(self, table: str, key: int) -> tuple | None:
+        """Point read via the primary index; None if the key is absent."""
+
+    @abstractmethod
+    def update(self, table: str, key: int, column: str, value) -> tuple:
+        """Read-modify-write one column; returns the new row."""
+
+    @abstractmethod
+    def insert(self, table: str, values: tuple, key: int | None = None) -> int:
+        """Insert a row (appended); returns its row id."""
+
+    @abstractmethod
+    def scan(self, table: str, key: int, n: int) -> list:
+        """Ordered scan of up to *n* entries starting at *key*."""
+
+    @abstractmethod
+    def delete(self, table: str, key: int) -> bool:
+        """Remove *key* from the table's index; True if it was present."""
+
+    @abstractmethod
+    def commit(self) -> None: ...
+
+    @abstractmethod
+    def abort(self) -> None: ...
+
+    def _finish(self) -> None:
+        if self.done:
+            raise RuntimeError("transaction already finished")
+        self.done = True
+
+
+class Engine(ABC):
+    """Base class for the five analysed systems."""
+
+    system = "abstract"
+    default_index_kind = "btree"
+    is_partitioned = False
+    # Distinct lines an in-node B-tree search touches (None = the full
+    # binary-search path); commercial trees with prefix truncation keep
+    # the search within the first lines of the page.
+    default_search_line_cap: int | None = None
+    # Cache-conscious node size the engine uses when its index kind is
+    # 'cc_btree' (None = the structure's own default).
+    default_node_bytes: int | None = None
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig()
+        self.space = DataAddressSpace()
+        self.layout = CodeLayout()
+        self.walker = CodeWalker(self.layout)
+        self.mods: dict[str, int] = {}
+        self.tables: dict[str, EngineTable | PartitionedTable] = {}
+        self.stats = EngineStats()
+        self._cmp_instr_cache: dict[str, int] = {}
+        self._trace = AccessTrace()
+        self._next_txn_id = 1
+        self._register_modules()
+
+    # -- module registration ----------------------------------------------------
+
+    @abstractmethod
+    def _register_modules(self) -> None:
+        """Subclasses declare their code modules here via :meth:`_module`."""
+
+    def _module(
+        self,
+        name: str,
+        group: str,
+        footprint_kb: float,
+        *,
+        instructions_per_line: float = 14.0,
+        branches_per_kilo_instruction: float = 180.0,
+        mispredict_rate: float = 0.04,
+        base_cpi: float = 0.45,
+    ) -> int:
+        mod_id = self.layout.add(
+            CodeModule(
+                name=name,
+                group=group,
+                footprint_bytes=int(footprint_kb * 1024),
+                instructions_per_line=instructions_per_line,
+                branches_per_kilo_instruction=branches_per_kilo_instruction,
+                mispredict_rate=mispredict_rate,
+                base_cpi=base_cpi,
+            )
+        )
+        self.mods[name] = mod_id
+        return mod_id
+
+    def _w(self, trace: AccessTrace, name: str, fraction: float) -> int:
+        """Walk the leading *fraction* of module *name*."""
+        return self.walker.run(trace, self.mods[name], fraction)
+
+    def _wseg(self, trace: AccessTrace, name: str, start: float, end: float) -> int:
+        return self.walker.run_segment(trace, self.mods[name], start, end)
+
+    # -- table management ----------------------------------------------------------
+
+    def index_kind_for(self, spec: TableSpec) -> str:
+        return self.config.index_kind or self.default_index_kind
+
+    def create_table(self, spec: TableSpec) -> None:
+        if spec.name in self.tables:
+            raise ValueError(f"table {spec.name!r} already exists")
+        kind = self.index_kind_for(spec)
+        kwargs = dict(
+            index_kind=kind,
+            page_bytes=self.config.page_bytes,
+            node_bytes=self.config.node_bytes or self.default_node_bytes,
+            materialize_threshold=self.config.materialize_threshold,
+            search_line_cap=self.default_search_line_cap,
+        )
+        if self.is_partitioned and self.config.n_partitions > 1 and not spec.replicated:
+            self.tables[spec.name] = PartitionedTable(
+                spec, self.space, self.config.n_partitions, **kwargs
+            )
+        else:
+            self.tables[spec.name] = EngineTable(spec, self.space, **kwargs)
+
+    def create_tables(self, specs: list[TableSpec]) -> None:
+        for spec in specs:
+            self.create_table(spec)
+
+    def table(self, name: str) -> EngineTable | PartitionedTable:
+        return self.tables[name]
+
+    def comparison_instructions(self, name: str) -> int:
+        """Extra instructions an index probe retires for wide keys.
+
+        Comparing two 50-byte Strings is a word-by-word loop per visited
+        node, whereas two Longs compare in one instruction.  The extra
+        work re-uses already-fetched lines, so wide keys *lower* the
+        data stalls per kilo-instruction — the Figure 15 effect.
+        """
+        cached = self._cmp_instr_cache.get(name)
+        if cached is not None:
+            return cached
+        table = self.tables[name]
+        key_bytes = table.spec.schema.columns[0][1].byte_size
+        words = -(-key_bytes // 8)
+        if words <= 1:
+            extra = 0
+        else:
+            index = getattr(table, "index", None)
+            if index is None:
+                index = table._indexes[0]
+            height = index.height if isinstance(index.height, int) else index.height()
+            extra = (words - 1) * max(2, height) * 11
+        self._cmp_instr_cache[name] = extra
+        return extra
+
+    def _retire_comparisons(self, trace: AccessTrace, name: str, mod: int) -> None:
+        extra = self.comparison_instructions(name)
+        if extra:
+            trace.retire(mod, extra, base_cycles=extra * 0.40)
+
+    # -- execution ---------------------------------------------------------------------
+
+    @abstractmethod
+    def begin(self, trace: AccessTrace | None = None, procedure: str = "adhoc") -> Transaction:
+        """Open a transaction (harness path uses :meth:`execute` instead)."""
+
+    def execute(self, procedure: str, body, core_id: int = 0) -> AccessTrace:
+        """Run one transaction; returns its access trace.
+
+        Aborts (lock conflicts, validation failures) are retried up to
+        the configured budget; the aborted attempts' events stay in the
+        trace because the wasted work is part of what the hardware sees.
+        """
+        trace = self._trace
+        trace.clear()
+        attempts = 0
+        while True:
+            txn = self.begin(trace, procedure)
+            try:
+                body(txn)
+                txn.commit()  # may abort (OCC validation failure)
+            except TransactionAborted:
+                txn.abort()
+                self.stats.aborts += 1
+                attempts += 1
+                if attempts > self.config.max_retries:
+                    self.stats.retries_exhausted += 1
+                    return trace
+                continue
+            except UserAbort:
+                txn.abort()
+                self.stats.aborts += 1
+                return trace
+            self.stats.commits += 1
+            return trace
+
+    def _new_txn_id(self) -> int:
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        return txn_id
+
+    # -- prewarm support ----------------------------------------------------------------
+
+    def hot_regions(self) -> list[tuple[int, int]]:
+        """Data regions to prewarm, hottest first (see runner.prewarm).
+
+        Small regions are the hot ones: index roots and upper levels,
+        low-cardinality tables, metadata.  Sorting every table's regions
+        by size (with the workload's table priority as tiebreaker)
+        approximates the residency steady-state LRU converges to; log
+        buffers come last — they are streams, not working set.
+        """
+        sized: list[tuple[int, int, tuple[int, int]]] = []
+        for table in self.tables.values():
+            for base, n_lines in table.hot_regions():
+                sized.append((n_lines, -table.spec.warm_priority, (base, n_lines)))
+        for base, n_lines in self._aux_hot_regions():
+            sized.append((n_lines, 0, (base, n_lines)))
+        sized.sort(key=lambda item: (item[0], item[1]))
+        regions = [entry for _, _, entry in sized]
+        regions.extend(self._aux_cold_regions())
+        return regions
+
+    def _aux_hot_regions(self) -> list[tuple[int, int]]:
+        """Engine-private hot structures (lock table, page table, ...)."""
+        return []
+
+    def _aux_cold_regions(self) -> list[tuple[int, int]]:
+        """Engine-private streaming structures (log buffers)."""
+        return []
+
+    def describe(self) -> str:
+        parts = [f"{self.system}:"]
+        for name, mod_id in self.mods.items():
+            module = self.layout.module(mod_id)
+            parts.append(f"  {name} [{module.group}] {module.footprint_bytes >> 10}KB")
+        return "\n".join(parts)

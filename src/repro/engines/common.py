@@ -1,0 +1,200 @@
+"""Shared engine plumbing: table specs, engine tables, partitioning.
+
+Workloads declare *what* tables exist (:class:`TableSpec`); each engine
+decides *how* to store and index them (:class:`EngineTable`,
+:class:`PartitionedTable`) — the disk engines use 8 KB-page B+trees,
+VoltDB a cache-line-tuned tree, HyPer an ART, DBMS M a hash index or a
+cache-conscious B-tree (paper Section 3, "Analyzed Systems").
+
+Keys are dense integers ``0..n_rows-1`` for pre-populated rows (composite
+TPC-C keys are encoded into that space by the workload); the identity
+mapping key -> row id defines initial contents, and inserts grow the
+heap beyond it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.trace import AccessTrace
+from repro.storage.address_space import DataAddressSpace
+from repro.storage.heap import HeapTable
+from repro.storage.index_factory import make_index
+from repro.storage.record import Schema
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """A workload table, independent of any engine's storage choices."""
+
+    name: str
+    schema: Schema
+    n_rows: int
+    # Appended rows beyond the dense key range (History, Order...) need
+    # heap headroom; workloads mark such tables.
+    grows: bool = False
+    # Hot tables the runner should try to keep LLC-resident first
+    # (low-cardinality TPC-B Branch/Teller); bigger = hotter.
+    warm_priority: int = 0
+    # Replicated read-mostly tables (TPC-C Item) stay unpartitioned on
+    # partitioned engines, as VoltDB replicates them to every site.
+    replicated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_rows < 1:
+            raise ValueError(f"table {self.name!r} needs at least one row")
+
+    @property
+    def logical_bytes(self) -> int:
+        return self.n_rows * self.schema.row_bytes
+
+
+class EngineTable:
+    """One engine's storage for a table: heap + primary index."""
+
+    def __init__(
+        self,
+        spec: TableSpec,
+        space: DataAddressSpace,
+        *,
+        index_kind: str,
+        page_bytes: int = 8192,
+        node_bytes: int | None = None,
+        materialize_threshold: int | None = None,
+        search_line_cap: int | None = None,
+        name_suffix: str = "",
+    ) -> None:
+        self.spec = spec
+        name = spec.name + name_suffix
+        self.heap = HeapTable(name, spec.schema, spec.n_rows, space)
+        kwargs = {"search_line_cap": search_line_cap}
+        if materialize_threshold is not None:
+            kwargs["materialize_threshold"] = materialize_threshold
+        n_rows = spec.n_rows
+        self.index = make_index(
+            index_kind,
+            name,
+            space,
+            n_keys=n_rows,
+            # Dense pre-population: key == row id inside the domain,
+            # absent outside it (sparse key encodings probe as misses).
+            key_to_value=lambda k: k if 0 <= k < n_rows else None,
+            page_bytes=page_bytes,
+            node_bytes=node_bytes,
+            **kwargs,
+        )
+
+    def probe(self, key: int, trace: AccessTrace | None, mod: int):
+        """Index probe; returns the row id or None."""
+        return self.index.probe(key, trace, mod)
+
+    def insert_row(self, values: tuple, key: int | None, trace: AccessTrace | None, mod: int) -> int:
+        row_id = self.heap.append(values, trace, mod)
+        self.index.insert(key if key is not None else row_id, row_id, trace, mod)
+        return row_id
+
+    def hot_regions(self) -> list[tuple[int, int]]:
+        """(base_line, n_lines) ranges, hottest first, for cache prewarm."""
+        regions = index_hot_regions(self.index)
+        data_lines = max(1, self.heap.data_bytes // 64)
+        regions.append((self.heap.region.base_line, data_lines))
+        return regions
+
+
+class PartitionedTable:
+    """Range-partitioned table (VoltDB / HyPer deployment style).
+
+    Partition *p* owns the key range ``[p*N/P, (p+1)*N/P)`` with its own
+    index; the heap stays logically global so row ids equal keys across
+    engines.  Composite TPC-C keys encode the warehouse in their high
+    component, so range partitioning doubles as partition-by-warehouse.
+    """
+
+    def __init__(
+        self,
+        spec: TableSpec,
+        space: DataAddressSpace,
+        n_partitions: int,
+        *,
+        index_kind: str,
+        page_bytes: int = 8192,
+        node_bytes: int | None = None,
+        materialize_threshold: int | None = None,
+        search_line_cap: int | None = None,
+    ) -> None:
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        self.spec = spec
+        self.n_partitions = n_partitions
+        self.heap = HeapTable(spec.name, spec.schema, spec.n_rows, space)
+        self._bases: list[int] = []
+        self._indexes = []
+        per_part = -(-spec.n_rows // n_partitions)
+        kwargs = {"search_line_cap": search_line_cap}
+        if materialize_threshold is not None:
+            kwargs["materialize_threshold"] = materialize_threshold
+        for p in range(n_partitions):
+            base = p * per_part
+            n_keys = max(1, min(per_part, spec.n_rows - base))
+            self._bases.append(base)
+            self._indexes.append(
+                make_index(
+                    index_kind,
+                    f"{spec.name}:p{p}",
+                    space,
+                    n_keys=n_keys,
+                    key_to_value=(lambda k, b=base, n=n_keys: k + b if 0 <= k < n else None),
+                    page_bytes=page_bytes,
+                    node_bytes=node_bytes,
+                    **kwargs,
+                )
+            )
+        self._per_part = per_part
+
+    def partition_of(self, key: int) -> int:
+        return min(self.n_partitions - 1, max(0, key // self._per_part))
+
+    def probe(self, key: int, trace: AccessTrace | None, mod: int):
+        p = self.partition_of(key)
+        return self._indexes[p].probe(key - self._bases[p], trace, mod)
+
+    def insert_row(self, values: tuple, key: int | None, trace: AccessTrace | None, mod: int) -> int:
+        row_id = self.heap.append(values, trace, mod)
+        key = key if key is not None else row_id
+        p = self.partition_of(key)
+        self._indexes[p].insert(key - self._bases[p], row_id, trace, mod)
+        return row_id
+
+    def hot_regions(self) -> list[tuple[int, int]]:
+        regions: list[tuple[int, int]] = []
+        for index in self._indexes:
+            regions.extend(index_hot_regions(index))
+        regions.append((self.heap.region.base_line, max(1, self.heap.data_bytes // 64)))
+        return regions
+
+
+def index_hot_regions(index) -> list[tuple[int, int]]:
+    """(base_line, n_lines) ranges of an index, hottest (root-most) first.
+
+    Works across all index flavours by duck-typing their region
+    attributes: analytic indexes expose per-level regions, materialised
+    ones a node arena, hash variants a bucket array + entry storage.
+    """
+    regions: list[tuple[int, int]] = []
+    level_regions = getattr(index, "_level_regions", None)
+    if level_regions is not None:
+        regions.extend((r.base_line, r.n_lines) for r in level_regions)
+        leaf_region = getattr(index, "_leaf_region", None)
+        if leaf_region is not None:
+            regions.append((leaf_region.base_line, leaf_region.n_lines))
+    else:
+        arena = getattr(index, "_arena", None)
+        if arena is not None:
+            regions.append((arena.region.base_line, max(1, arena.used_bytes // 64)))
+    bucket_region = getattr(index, "_bucket_region", None)
+    if bucket_region is not None:
+        regions.insert(0, (bucket_region.base_line, bucket_region.n_lines))
+    entry_region = getattr(index, "_entry_region", None)
+    if entry_region is not None:
+        regions.append((entry_region.base_line, entry_region.n_lines))
+    return regions

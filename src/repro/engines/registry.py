@@ -1,0 +1,61 @@
+"""Engine registry: the five analysed systems by name.
+
+Names match the paper's labels, with normalised aliases for CLI use.
+"""
+
+from __future__ import annotations
+
+from repro.engines.base import Engine
+from repro.engines.config import EngineConfig
+from repro.engines.dbms_d import DBMSD
+from repro.engines.dbms_m import DBMSM
+from repro.engines.hyper import HyPerEngine
+from repro.engines.shore_mt import ShoreMT
+from repro.engines.voltdb import VoltDBEngine
+
+ENGINE_CLASSES: dict[str, type[Engine]] = {
+    "shore-mt": ShoreMT,
+    "dbms-d": DBMSD,
+    "voltdb": VoltDBEngine,
+    "hyper": HyPerEngine,
+    "dbms-m": DBMSM,
+}
+
+DISK_BASED = ("shore-mt", "dbms-d")
+IN_MEMORY = ("voltdb", "hyper", "dbms-m")
+ALL_SYSTEMS = DISK_BASED + IN_MEMORY
+"""Paper ordering: disk-based systems first, then in-memory."""
+
+PAPER_LABELS = {
+    "shore-mt": "Shore-MT",
+    "dbms-d": "DBMS D",
+    "voltdb": "VoltDB",
+    "hyper": "HyPer",
+    "dbms-m": "DBMS M",
+}
+
+_ALIASES = {
+    "shore": "shore-mt",
+    "shoremt": "shore-mt",
+    "shore_mt": "shore-mt",
+    "dbmsd": "dbms-d",
+    "dbms_d": "dbms-d",
+    "d": "dbms-d",
+    "volt": "voltdb",
+    "dbmsm": "dbms-m",
+    "dbms_m": "dbms-m",
+    "m": "dbms-m",
+}
+
+
+def canonical_name(system: str) -> str:
+    key = system.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in ENGINE_CLASSES:
+        raise KeyError(f"unknown system {system!r}; known: {', '.join(ALL_SYSTEMS)}")
+    return key
+
+
+def make_engine(system: str, config: EngineConfig | None = None) -> Engine:
+    """Instantiate a system by (paper) name."""
+    return ENGINE_CLASSES[canonical_name(system)](config)

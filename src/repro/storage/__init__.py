@@ -1,0 +1,77 @@
+"""Database substrates: storage, indexing, concurrency control, logging.
+
+Everything the five engine models are built from — implemented from
+scratch, instrumented to emit their cache-line access streams into
+transaction traces.
+"""
+
+from repro.storage.address_space import Arena, DataAddressSpace, Region
+from repro.storage.art import AdaptiveRadixTree, key_to_bytes
+from repro.storage.btree import BPlusTree, binary_search_probes
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.cc_btree import CacheConsciousBTree
+from repro.storage.hash_index import HashIndex, fibonacci_hash
+from repro.storage.heap import HeapTable
+from repro.storage.index_factory import (
+    ART,
+    BTREE,
+    CC_BTREE,
+    HASH,
+    INDEX_KINDS,
+    MATERIALIZE_THRESHOLD,
+    make_index,
+)
+from repro.storage.layout_models import AnalyticART, AnalyticBTree, AnalyticHash
+from repro.storage.lock_manager import LockConflict, LockManager, LockMode, compatible
+from repro.storage.mvcc import MVCCStore, ValidationFailure
+from repro.storage.record import LONG, STRING50, ColumnType, Schema, microbench_schema, string_type
+from repro.storage.recovery import (
+    RecoveredState,
+    analyse,
+    replay,
+    verify_against_engine,
+)
+from repro.storage.wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "ART",
+    "AdaptiveRadixTree",
+    "AnalyticART",
+    "AnalyticBTree",
+    "AnalyticHash",
+    "Arena",
+    "BPlusTree",
+    "BTREE",
+    "BufferPool",
+    "CC_BTREE",
+    "CacheConsciousBTree",
+    "ColumnType",
+    "DataAddressSpace",
+    "HASH",
+    "HashIndex",
+    "HeapTable",
+    "INDEX_KINDS",
+    "LONG",
+    "LockConflict",
+    "LockManager",
+    "LockMode",
+    "LogRecord",
+    "MATERIALIZE_THRESHOLD",
+    "MVCCStore",
+    "RecoveredState",
+    "Region",
+    "STRING50",
+    "Schema",
+    "ValidationFailure",
+    "WriteAheadLog",
+    "analyse",
+    "binary_search_probes",
+    "compatible",
+    "fibonacci_hash",
+    "key_to_bytes",
+    "make_index",
+    "microbench_schema",
+    "replay",
+    "string_type",
+    "verify_against_engine",
+]

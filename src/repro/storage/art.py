@@ -1,0 +1,325 @@
+"""Adaptive Radix Tree (ART) — HyPer's index [Leis et al., ICDE 2013].
+
+A radix tree over the big-endian bytes of the key, with the two ART
+space tricks that give it its cache behaviour:
+
+* **adaptive node sizes** — inner nodes grow through Node4 → Node16 →
+  Node48 → Node256 as fan-out increases, so sparsely populated levels
+  stay within one or two cache lines;
+* **path compression** — one-child chains collapse into a per-node
+  prefix, so tree height tracks key distribution, not key length.
+
+Growth replaces the node (fresh allocation), as in the paper's
+implementation.  Probes emit one serially-dependent line per visited
+node plus the child-slot line for the large node kinds whose arrays
+span lines — that is why ART probes touch so few lines ("adaptive
+compact node sizes", Section 4.1.3).
+"""
+
+from __future__ import annotations
+
+from repro.core.spec import CACHE_LINE_BYTES
+from repro.core.trace import AccessTrace
+from repro.storage.address_space import Arena, DataAddressSpace
+
+NODE4, NODE16, NODE48, NODE256 = 4, 16, 48, 256
+
+_NODE_BYTES = {NODE4: 64, NODE16: 176, NODE48: 704, NODE256: 2096}
+_HEADER_BYTES = 16
+_LEAF_BYTES = 32
+_GROW_ORDER = {NODE4: NODE16, NODE16: NODE48, NODE48: NODE256}
+
+
+def key_to_bytes(key: int | bytes | str, key_bytes: int = 8) -> bytes:
+    """Canonical byte string for a key (big-endian ints sort correctly)."""
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if key < 0:
+        raise ValueError("ART keys must be non-negative integers")
+    return key.to_bytes(key_bytes, "big")
+
+
+class _Leaf:
+    __slots__ = ("key", "value", "offset")
+
+    def __init__(self, key: bytes, value, offset: int) -> None:
+        self.key = key
+        self.value = value
+        self.offset = offset
+
+
+class _Inner:
+    __slots__ = ("kind", "prefix", "children", "offset")
+
+    def __init__(self, kind: int, prefix: bytes, offset: int) -> None:
+        self.kind = kind
+        self.prefix = prefix
+        self.children: dict[int, object] = {}
+        self.offset = offset
+
+    @property
+    def full(self) -> bool:
+        return len(self.children) >= self.kind
+
+
+class AdaptiveRadixTree:
+    """ART mapping fixed-width byte keys to values."""
+
+    def __init__(self, name: str, space: DataAddressSpace, *, key_bytes: int = 8) -> None:
+        self.name = name
+        self.key_bytes = key_bytes
+        self._arena: Arena = space.arena(f"art:{name}")
+        self._root: object | None = None
+        self.n_keys = 0
+
+    # -- allocation ------------------------------------------------------------
+
+    def _new_inner(self, kind: int, prefix: bytes) -> _Inner:
+        return _Inner(kind, prefix, self._arena.alloc(_NODE_BYTES[kind]))
+
+    def _new_leaf(self, key: bytes, value) -> _Leaf:
+        return _Leaf(key, value, self._arena.alloc(_LEAF_BYTES))
+
+    def _grow(self, node: _Inner) -> _Inner:
+        bigger = self._new_inner(_GROW_ORDER[node.kind], node.prefix)
+        bigger.children = node.children
+        return bigger
+
+    # -- trace emission ----------------------------------------------------------
+
+    def _emit_visit(
+        self, node, byte: int | None, trace: AccessTrace | None, mod: int
+    ) -> None:
+        """One dependent line per node visit.
+
+        ART implementations tag the node kind in the child pointer, so
+        the common descent path issues exactly one load per node: the
+        child slot itself (large nodes) or the header line (small nodes
+        and leaves).
+        """
+        if trace is None:
+            return
+        base = self._arena.line_of(node.offset)
+        if isinstance(node, _Inner) and byte is not None:
+            slot_off = self._slot_offset(node.kind, byte)
+            trace.load(base + slot_off // CACHE_LINE_BYTES, mod, serial=True)
+        else:
+            trace.load(base, mod, serial=True)
+
+    @staticmethod
+    def _slot_offset(kind: int, byte: int) -> int:
+        """Byte offset of the child slot consulted for *byte*."""
+        if kind in (NODE4, NODE16):
+            # key array + child array both within the first line(s);
+            # model the child-pointer read at a deterministic slot.
+            return _HEADER_BYTES + (byte % kind) * 8
+        if kind == NODE48:
+            # 256-byte child index, then 48 pointers.
+            return _HEADER_BYTES + 256 + (byte % 48) * 8
+        return _HEADER_BYTES + byte * 8  # NODE256: direct pointer array
+
+    # -- operations ----------------------------------------------------------------
+
+    def probe(self, key, trace: AccessTrace | None = None, mod: int = 0):
+        """Point lookup; returns the value or None."""
+        kb = key_to_bytes(key, self.key_bytes)
+        node = self._root
+        depth = 0
+        while node is not None:
+            if isinstance(node, _Leaf):
+                self._emit_visit(node, None, trace, mod)
+                return node.value if node.key == kb else None
+            if node.prefix and kb[depth : depth + len(node.prefix)] != node.prefix:
+                self._emit_visit(node, None, trace, mod)
+                return None
+            depth += len(node.prefix)
+            if depth >= len(kb):
+                return None
+            byte = kb[depth]
+            self._emit_visit(node, byte, trace, mod)
+            node = node.children.get(byte)
+            depth += 1
+        return None
+
+    def probe_path(self, key) -> list[int]:
+        """Byte offsets of nodes a probe visits (layout verification)."""
+        kb = key_to_bytes(key, self.key_bytes)
+        path: list[int] = []
+        node = self._root
+        depth = 0
+        while node is not None:
+            path.append(node.offset)
+            if isinstance(node, _Leaf):
+                return path
+            if node.prefix and kb[depth : depth + len(node.prefix)] != node.prefix:
+                return path
+            depth += len(node.prefix)
+            if depth >= len(kb):
+                return path
+            node = node.children.get(kb[depth])
+            depth += 1
+        return path
+
+    def insert(self, key, value, trace: AccessTrace | None = None, mod: int = 0) -> None:
+        kb = key_to_bytes(key, self.key_bytes)
+        if self._root is None:
+            self._root = self._new_leaf(kb, value)
+            self.n_keys += 1
+            if trace is not None:
+                trace.store(self._arena.line_of(self._root.offset), mod)
+            return
+        self._root = self._insert(self._root, kb, value, 0, trace, mod)
+
+    def _insert(self, node, kb: bytes, value, depth: int, trace, mod):
+        if isinstance(node, _Leaf):
+            self._emit_visit(node, None, trace, mod)
+            if node.key == kb:
+                node.value = value
+                if trace is not None:
+                    trace.store(self._arena.line_of(node.offset), mod)
+                return node
+            # Split: new inner node with the common prefix of both keys.
+            common = 0
+            while (
+                depth + common < len(kb)
+                and depth + common < len(node.key)
+                and kb[depth + common] == node.key[depth + common]
+            ):
+                common += 1
+            inner = self._new_inner(NODE4, kb[depth : depth + common])
+            new_leaf = self._new_leaf(kb, value)
+            inner.children[node.key[depth + common]] = node
+            inner.children[kb[depth + common]] = new_leaf
+            self.n_keys += 1
+            if trace is not None:
+                trace.store(self._arena.line_of(inner.offset), mod)
+                trace.store(self._arena.line_of(new_leaf.offset), mod)
+            return inner
+
+        # Inner node: check the compressed prefix.
+        prefix = node.prefix
+        match = 0
+        while (
+            match < len(prefix)
+            and depth + match < len(kb)
+            and kb[depth + match] == prefix[match]
+        ):
+            match += 1
+        if match < len(prefix):
+            # Prefix mismatch: split the prefix.
+            self._emit_visit(node, None, trace, mod)
+            parent = self._new_inner(NODE4, prefix[:match])
+            node.prefix = prefix[match + 1 :]
+            parent.children[prefix[match]] = node
+            new_leaf = self._new_leaf(kb, value)
+            parent.children[kb[depth + match]] = new_leaf
+            self.n_keys += 1
+            if trace is not None:
+                trace.store(self._arena.line_of(parent.offset), mod)
+                trace.store(self._arena.line_of(new_leaf.offset), mod)
+            return parent
+
+        depth += len(prefix)
+        byte = kb[depth]
+        self._emit_visit(node, byte, trace, mod)
+        child = node.children.get(byte)
+        if child is None:
+            if node.full:
+                node = self._grow(node)
+            leaf = self._new_leaf(kb, value)
+            node.children[byte] = leaf
+            self.n_keys += 1
+            if trace is not None:
+                trace.store(self._arena.line_of(node.offset), mod)
+                trace.store(self._arena.line_of(leaf.offset), mod)
+        else:
+            node.children[byte] = self._insert(child, kb, value, depth + 1, trace, mod)
+        return node
+
+    def delete(self, key, trace: AccessTrace | None = None, mod: int = 0) -> bool:
+        """Remove *key* (leaf unlink; inner nodes are not shrunk, as in
+        implementations that defer structural cleanup).  True if present."""
+        kb = key_to_bytes(key, self.key_bytes)
+        parent: _Inner | None = None
+        parent_byte = -1
+        node = self._root
+        depth = 0
+        while node is not None:
+            if isinstance(node, _Leaf):
+                self._emit_visit(node, None, trace, mod)
+                if node.key != kb:
+                    return False
+                if parent is None:
+                    self._root = None
+                else:
+                    del parent.children[parent_byte]
+                    if trace is not None:
+                        trace.store(self._arena.line_of(parent.offset), mod)
+                self.n_keys -= 1
+                return True
+            if node.prefix and kb[depth : depth + len(node.prefix)] != node.prefix:
+                return False
+            depth += len(node.prefix)
+            if depth >= len(kb):
+                return False
+            byte = kb[depth]
+            self._emit_visit(node, byte, trace, mod)
+            parent, parent_byte = node, byte
+            node = node.children.get(byte)
+            depth += 1
+        return False
+
+    def range_scan(self, key, n: int, trace: AccessTrace | None = None, mod: int = 0):
+        """Up to *n* (key, value) pairs with key >= *key*, in key order.
+
+        Radix trees are naturally ordered, so a scan is an in-order walk
+        from the seek point; each visited leaf costs its line.
+        """
+        kb = key_to_bytes(key, self.key_bytes)
+        out: list[tuple] = []
+
+        def walk(node) -> bool:
+            if node is None:
+                return True
+            if isinstance(node, _Leaf):
+                if node.key >= kb:
+                    if trace is not None:
+                        trace.load(self._arena.line_of(node.offset), mod)
+                    out.append((node.key, node.value))
+                return len(out) < n
+            for byte in sorted(node.children):
+                if not walk(node.children[byte]):
+                    return False
+            return True
+
+        walk(self._root)
+        return out
+
+    def height(self) -> int:
+        """Maximum node depth (leaves included)."""
+
+        def depth_of(node) -> int:
+            if node is None or isinstance(node, _Leaf):
+                return 1 if node is not None else 0
+            return 1 + max((depth_of(c) for c in node.children.values()), default=0)
+
+        return depth_of(self._root)
+
+    def items(self):
+        """All (key bytes, value) pairs in key order (test helper)."""
+
+        def walk(node):
+            if node is None:
+                return
+            if isinstance(node, _Leaf):
+                yield (node.key, node.value)
+                return
+            for byte in sorted(node.children):
+                yield from walk(node.children[byte])
+
+        yield from walk(self._root)
+
+    def __len__(self) -> int:
+        return self.n_keys

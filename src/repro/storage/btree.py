@@ -1,0 +1,265 @@
+"""B+tree index with configurable page size.
+
+This is the disk-style index of Shore-MT and DBMS D (8 KB pages, not
+cache-conscious) and — with small nodes — the cache-line-tuned tree of
+VoltDB (see :mod:`repro.storage.cc_btree`).  It is a real B+tree:
+sorted keys per node, iterative descent, leaf chaining, node splits;
+values stick and probes return them.
+
+Trace emission models what the hardware sees during a probe: each node
+visit is a serially-dependent load of the node's header line followed by
+the lines the in-node binary search actually touches.  Large pages
+therefore cost several distinct lines per level while cache-line-sized
+nodes cost one — the data-stall gap of Figures 3 and 13.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.core.spec import CACHE_LINE_BYTES
+from repro.core.trace import AccessTrace
+from repro.storage.address_space import Arena, DataAddressSpace
+
+NODE_HEADER_BYTES = 64
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "offset", "is_leaf")
+
+    def __init__(self, offset: int, is_leaf: bool) -> None:
+        self.offset = offset
+        self.is_leaf = is_leaf
+        self.keys: list = []
+        self.children: list["_Node"] = []
+        self.values: list = []
+        self.next_leaf: "_Node | None" = None
+
+
+def binary_search_probes(n_entries: int, target_idx: int) -> list[int]:
+    """Entry indices a binary search visits before landing on *target_idx*.
+
+    Used to derive which cache lines of a sorted node array the search
+    touches; also reused by the analytic layout models so materialised
+    and analytic probes agree (property-tested).
+    """
+    probes: list[int] = []
+    lo, hi = 0, n_entries
+    while lo < hi:
+        mid = (lo + hi) // 2
+        probes.append(mid)
+        if mid == target_idx:
+            break
+        if mid < target_idx:
+            lo = mid + 1
+        else:
+            hi = mid
+    return probes
+
+
+class BPlusTree:
+    """Order-by-page-size B+tree mapping fixed-width keys to values."""
+
+    def __init__(
+        self,
+        name: str,
+        space: DataAddressSpace,
+        *,
+        page_bytes: int = 8192,
+        key_bytes: int = 8,
+        value_bytes: int = 8,
+        search_line_cap: int | None = None,
+    ) -> None:
+        if page_bytes < NODE_HEADER_BYTES + 2 * (key_bytes + value_bytes):
+            raise ValueError("page too small for two entries")
+        self.name = name
+        self.page_bytes = page_bytes
+        self.key_bytes = key_bytes
+        self.value_bytes = value_bytes
+        # Distinct lines an in-node search may touch (None = unbounded).
+        # Engines whose trees use key-prefix truncation / poor-man's
+        # normalised keys confine the search to the head of the page.
+        self.search_line_cap = search_line_cap
+        self.entry_stride = key_bytes + value_bytes
+        usable = page_bytes - NODE_HEADER_BYTES
+        self.max_entries = usable // self.entry_stride
+        self._arena: Arena = space.arena(f"btree:{name}")
+        self._root = self._new_node(is_leaf=True)
+        self.height = 1
+        self.n_keys = 0
+
+    def _new_node(self, is_leaf: bool) -> _Node:
+        return _Node(self._arena.alloc(self.page_bytes), is_leaf)
+
+    # -- trace emission --------------------------------------------------------
+
+    def _emit_node_visit(
+        self, node: _Node, target_idx: int, trace: AccessTrace | None, mod: int
+    ) -> None:
+        if trace is None:
+            return
+        base = self._arena.line_of(node.offset)
+        # Header line first: reading it is what yields the key array
+        # bounds, so it heads the dependence chain.
+        trace.load(base, mod, serial=True)
+        seen = {base}
+        n = len(node.keys)
+        if n == 0:
+            return
+        cap = self.search_line_cap
+        for idx in binary_search_probes(n, min(target_idx, n - 1)):
+            line = base + (NODE_HEADER_BYTES + idx * self.entry_stride) // CACHE_LINE_BYTES
+            if line not in seen:
+                if cap is not None and len(seen) > cap:
+                    break
+                seen.add(line)
+                trace.load(line, mod, serial=True)
+
+    # -- operations --------------------------------------------------------------
+
+    def probe(self, key, trace: AccessTrace | None = None, mod: int = 0):
+        """Point lookup; returns the value or None."""
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect_right(node.keys, key)
+            self._emit_node_visit(node, max(0, idx - 1), trace, mod)
+            node = node.children[idx]
+        idx = bisect_left(node.keys, key)
+        self._emit_node_visit(node, idx, trace, mod)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            return node.values[idx]
+        return None
+
+    def probe_path(self, key) -> list[int]:
+        """Node byte offsets visited by a probe (layout-model verification)."""
+        path = []
+        node = self._root
+        while not node.is_leaf:
+            path.append(node.offset)
+            node = node.children[bisect_right(node.keys, key)]
+        path.append(node.offset)
+        return path
+
+    def insert(self, key, value, trace: AccessTrace | None = None, mod: int = 0) -> None:
+        """Insert or overwrite *key*."""
+        stack: list[tuple[_Node, int]] = []
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect_right(node.keys, key)
+            self._emit_node_visit(node, max(0, idx - 1), trace, mod)
+            stack.append((node, idx))
+            node = node.children[idx]
+        idx = bisect_left(node.keys, key)
+        self._emit_node_visit(node, idx, trace, mod)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            node.values[idx] = value
+        else:
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self.n_keys += 1
+        if trace is not None:
+            base = self._arena.line_of(node.offset)
+            line = base + (NODE_HEADER_BYTES + idx * self.entry_stride) // CACHE_LINE_BYTES
+            trace.store(line, mod)
+        if len(node.keys) > self.max_entries:
+            self._split(node, stack, trace, mod)
+
+    def _split(
+        self,
+        node: _Node,
+        stack: list[tuple[_Node, int]],
+        trace: AccessTrace | None,
+        mod: int,
+    ) -> None:
+        while len(node.keys) > self.max_entries:
+            right = self._new_node(node.is_leaf)
+            mid = len(node.keys) // 2
+            if node.is_leaf:
+                right.keys = node.keys[mid:]
+                right.values = node.values[mid:]
+                node.keys = node.keys[:mid]
+                node.values = node.values[:mid]
+                right.next_leaf = node.next_leaf
+                node.next_leaf = right
+                separator = right.keys[0]
+            else:
+                separator = node.keys[mid]
+                right.keys = node.keys[mid + 1 :]
+                right.children = node.children[mid + 1 :]
+                node.keys = node.keys[:mid]
+                node.children = node.children[: mid + 1]
+            if trace is not None:
+                # Splits rewrite both halves.
+                n_lines = max(1, self.page_bytes // CACHE_LINE_BYTES // 2)
+                trace.store_run(self._arena.line_of(node.offset), n_lines, mod)
+                trace.store_run(self._arena.line_of(right.offset), n_lines, mod)
+            if stack:
+                parent, idx = stack.pop()
+                parent.keys.insert(idx, separator)
+                parent.children.insert(idx + 1, right)
+                node = parent
+            else:
+                new_root = self._new_node(is_leaf=False)
+                new_root.keys = [separator]
+                new_root.children = [node, right]
+                self._root = new_root
+                self.height += 1
+                return
+
+    def range_scan(self, key, n: int, trace: AccessTrace | None = None, mod: int = 0):
+        """Return up to *n* (key, value) pairs with key >= *key* in order.
+
+        Scanning walks the leaf chain: after the initial probe it streams
+        leaf lines sequentially — the index-scan locality TPC-C benefits
+        from (Section 5.2.2).
+        """
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect_right(node.keys, key)
+            self._emit_node_visit(node, max(0, idx - 1), trace, mod)
+            node = node.children[idx]
+        idx = bisect_left(node.keys, key)
+        self._emit_node_visit(node, idx, trace, mod)
+        out = []
+        while node is not None and len(out) < n:
+            while idx < len(node.keys) and len(out) < n:
+                out.append((node.keys[idx], node.values[idx]))
+                idx += 1
+            if trace is not None and node.keys:
+                base = self._arena.line_of(node.offset)
+                span = NODE_HEADER_BYTES + len(node.keys) * self.entry_stride
+                trace.load_run(base, -(-span // CACHE_LINE_BYTES), mod)
+            node = node.next_leaf
+            idx = 0
+        return out
+
+    def delete(self, key, trace: AccessTrace | None = None, mod: int = 0) -> bool:
+        """Remove *key* (leaf-local removal; no rebalancing, like many
+        production trees that defer merging).  Returns True if present."""
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect_right(node.keys, key)
+            self._emit_node_visit(node, max(0, idx - 1), trace, mod)
+            node = node.children[idx]
+        idx = bisect_left(node.keys, key)
+        self._emit_node_visit(node, idx, trace, mod)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            node.keys.pop(idx)
+            node.values.pop(idx)
+            self.n_keys -= 1
+            if trace is not None:
+                trace.store(self._arena.line_of(node.offset), mod)
+            return True
+        return False
+
+    def items(self):
+        """All (key, value) pairs in key order (test helper)."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next_leaf
+
+    def __len__(self) -> int:
+        return self.n_keys

@@ -1,0 +1,161 @@
+"""Multi-version concurrency control with optimistic validation (DBMS M).
+
+Systems that avoid partitioning "rely on optimistic and multiversion
+concurrency control" [Bernstein & Goodman 1983; Larson 2013]
+(Section 2.1).  The model here is Hekaton-flavoured:
+
+* every write creates a new version holding (begin_ts, end_ts, value),
+  linked off the row's version chain;
+* readers walk the chain to the visible version for their begin
+  timestamp (each hop a serially-dependent line load);
+* at commit, the read set is validated — if any read row has grown a
+  newer committed version, the transaction aborts (first-committer
+  wins).
+
+The chain storage is a real data structure over the simulated address
+space, so version walks and validation produce the extra data traffic
+the paper attributes to the MVCC engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.trace import AccessTrace
+from repro.storage.address_space import Arena, DataAddressSpace
+
+_VERSION_BYTES = 64
+INFINITY_TS = 1 << 62
+
+
+class ValidationFailure(Exception):
+    """OCC commit-time validation failed (write-write / read-write race)."""
+
+    def __init__(self, row, txn_id: int) -> None:
+        super().__init__(f"txn {txn_id} failed validation on row {row!r}")
+        self.row = row
+        self.txn_id = txn_id
+
+
+@dataclass
+class _Version:
+    begin_ts: int
+    end_ts: int
+    value: object
+    offset: int
+    prev: "_Version | None" = None
+
+
+class MVCCStore:
+    """Per-table version-chain store with a global timestamp counter."""
+
+    def __init__(self, name: str, space: DataAddressSpace) -> None:
+        self.name = name
+        self._arena: Arena = space.arena(f"mvcc:{name}")
+        self._chains: dict[object, _Version] = {}
+        self._clock = 1
+        self.aborts = 0
+        self.commits = 0
+
+    # -- timestamps --------------------------------------------------------------
+
+    def begin_timestamp(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    # -- version access ------------------------------------------------------------
+
+    def read(
+        self,
+        row_key,
+        begin_ts: int,
+        trace: AccessTrace | None = None,
+        mod: int = 0,
+        *,
+        default=None,
+    ):
+        """Visible value of *row_key* at *begin_ts* (chain walk)."""
+        version = self._chains.get(row_key)
+        while version is not None:
+            if trace is not None:
+                trace.load(self._arena.line_of(version.offset), mod, serial=True)
+            if version.begin_ts <= begin_ts < version.end_ts:
+                return version.value
+            version = version.prev
+        return default
+
+    def latest_committed_ts(self, row_key) -> int:
+        head = self._chains.get(row_key)
+        return head.begin_ts if head is not None else 0
+
+    def install(
+        self,
+        row_key,
+        value,
+        commit_ts: int,
+        trace: AccessTrace | None = None,
+        mod: int = 0,
+    ) -> None:
+        """Install a new committed version at *commit_ts*."""
+        head = self._chains.get(row_key)
+        version = _Version(
+            begin_ts=commit_ts,
+            end_ts=INFINITY_TS,
+            value=value,
+            offset=self._arena.alloc(_VERSION_BYTES),
+            prev=head,
+        )
+        if head is not None:
+            head.end_ts = commit_ts
+            if trace is not None:
+                trace.store(self._arena.line_of(head.offset), mod)
+        self._chains[row_key] = version
+        if trace is not None:
+            trace.store(self._arena.line_of(version.offset), mod)
+
+    def validate(
+        self,
+        txn_id: int,
+        begin_ts: int,
+        read_set: dict,
+        trace: AccessTrace | None = None,
+        mod: int = 0,
+    ) -> None:
+        """First-committer-wins validation of *read_set* (key -> seen ts)."""
+        for row_key, seen_ts in read_set.items():
+            head = self._chains.get(row_key)
+            if trace is not None and head is not None:
+                trace.load(self._arena.line_of(head.offset), mod, serial=True)
+            latest = head.begin_ts if head is not None else 0
+            if latest != seen_ts and latest > begin_ts:
+                self.aborts += 1
+                raise ValidationFailure(row_key, txn_id)
+
+    def chain_length(self, row_key) -> int:
+        n = 0
+        version = self._chains.get(row_key)
+        while version is not None:
+            n += 1
+            version = version.prev
+        return n
+
+    def garbage_collect(self, oldest_active_ts: int) -> int:
+        """Drop versions no active transaction can see; returns count."""
+        dropped = 0
+        for key, head in self._chains.items():
+            version = head
+            while version.prev is not None:
+                if version.prev.end_ts <= oldest_active_ts:
+                    dropped += self._count(version.prev)
+                    version.prev = None
+                    break
+                version = version.prev
+        return dropped
+
+    @staticmethod
+    def _count(version: "_Version | None") -> int:
+        n = 0
+        while version is not None:
+            n += 1
+            version = version.prev
+        return n

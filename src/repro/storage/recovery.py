@@ -1,0 +1,137 @@
+"""Log replay: rebuild committed state from the write-ahead log.
+
+The disk-based engines value-log every update/insert/delete plus
+compensation records (CLRs) written during rollback.  :func:`replay`
+performs the classic redo pass of ARIES-style recovery over such a log:
+
+1. **Analysis** — scan for commit/abort markers to classify every
+   transaction (committed, aborted, or in-flight at the crash point);
+2. **Redo with filtering** — re-apply, in LSN order, the effects of
+   committed transactions.  Value logging (we log the *after* image)
+   makes undo unnecessary for aborted/in-flight transactions: their
+   records are simply skipped, and their CLRs — which carry the restore
+   images the engine wrote while rolling back — are skipped with them.
+
+The result is the table state a restarted engine would recover to,
+which the tests compare against the live engine's actual state
+(``tests/test_recovery.py``) — a machine-checked proof that the logging
+protocol captures exactly the committed effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.wal import LogRecord, WriteAheadLog
+
+COMMITTED = "committed"
+ABORTED = "aborted"
+IN_FLIGHT = "in-flight"
+
+
+@dataclass
+class RecoveredState:
+    """Committed table state rebuilt from the log."""
+
+    # (table, row_id) -> row values (last committed after-image)
+    rows: dict[tuple[str, int], tuple] = field(default_factory=dict)
+    # (table, key) -> row_id for committed inserts
+    inserted_keys: dict[tuple[str, int], int] = field(default_factory=dict)
+    # (table, key) committed deletes
+    deleted_keys: set[tuple[str, int]] = field(default_factory=set)
+    txn_status: dict[int, str] = field(default_factory=dict)
+    redo_applied: int = 0
+    skipped: int = 0
+
+    def row(self, table: str, row_id: int) -> tuple | None:
+        return self.rows.get((table, row_id))
+
+    def key_present(self, table: str, key: int) -> bool | None:
+        """True/False when the log determines presence; None if unknown."""
+        if (table, key) in self.deleted_keys:
+            return False
+        if (table, key) in self.inserted_keys:
+            return True
+        return None
+
+
+def analyse(records: list[LogRecord]) -> dict[int, str]:
+    """Pass 1: classify every transaction seen in the log."""
+    status: dict[int, str] = {}
+    for record in records:
+        if record.kind == "commit":
+            status[record.txn_id] = COMMITTED
+        elif record.kind == "abort":
+            status[record.txn_id] = ABORTED
+        else:
+            status.setdefault(record.txn_id, IN_FLIGHT)
+    return status
+
+
+def replay(log: WriteAheadLog) -> RecoveredState:
+    """Analysis + filtered redo over *log* (which must retain_all)."""
+    if not log.retain_all:
+        raise ValueError(
+            "log replay needs a retain_all=True WriteAheadLog: the default "
+            "trims its in-memory tail after group commits"
+        )
+    records = log.records
+    state = RecoveredState(txn_status=analyse(records))
+    for record in records:
+        if record.payload is None:
+            continue
+        if state.txn_status.get(record.txn_id) != COMMITTED:
+            state.skipped += 1
+            continue
+        _redo(state, record)
+    return state
+
+
+def _redo(state: RecoveredState, record: LogRecord) -> None:
+    payload = record.payload
+    if record.kind == "update":
+        table, row_id, after = payload
+        state.rows[(table, row_id)] = tuple(after)
+    elif record.kind == "insert":
+        table, key, row_id, values = payload
+        state.rows[(table, row_id)] = tuple(values)
+        state.inserted_keys[(table, key)] = row_id
+        state.deleted_keys.discard((table, key))
+    elif record.kind == "delete":
+        table, key = payload
+        state.deleted_keys.add((table, key))
+        state.inserted_keys.pop((table, key), None)
+    elif record.kind == "clr":
+        # CLRs belong to rollbacks; a *committed* transaction cannot
+        # have them (rollback ends in an abort marker), so a committed
+        # CLR indicates a protocol violation.
+        raise ValueError(
+            f"CLR {record.lsn} attributed to committed txn {record.txn_id}"
+        )
+    else:
+        return
+    state.redo_applied += 1
+
+
+def verify_against_engine(state: RecoveredState, engine) -> list[str]:
+    """Compare recovered state with the live engine; returns mismatches.
+
+    Every committed after-image in the log must match the engine's heap,
+    and committed deletes/inserts must agree with the engine's indexes.
+    An empty list means the logging protocol captured the committed
+    state exactly.
+    """
+    problems: list[str] = []
+    for (table, row_id), values in state.rows.items():
+        actual = engine.table(table).heap.read(row_id)
+        if actual != values:
+            problems.append(
+                f"{table}[{row_id}]: log says {values!r}, engine has {actual!r}"
+            )
+    for (table, key), row_id in state.inserted_keys.items():
+        if engine.table(table).probe(key, None, 0) != row_id:
+            problems.append(f"{table} key {key}: committed insert missing")
+    for table, key in state.deleted_keys:
+        if engine.table(table).probe(key, None, 0) is not None:
+            problems.append(f"{table} key {key}: committed delete not applied")
+    return problems

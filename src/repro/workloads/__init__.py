@@ -1,0 +1,34 @@
+"""Benchmark workloads: the paper's micro-benchmark, TPC-B and TPC-C."""
+
+from repro.workloads.base import PAPER_DB_SIZES, TxnBody, Workload, size_label
+from repro.workloads.keys import (
+    distinct_keys,
+    nurand,
+    nurand_customer,
+    nurand_item,
+    uniform_key,
+    zipf_key,
+)
+from repro.workloads.microbench import BYTES_PER_ROW, MicroBenchmark
+from repro.workloads.tpcb import TPCB
+from repro.workloads.tpcc import TPCC, order_line_count
+from repro.workloads.tpce_lite import TPCELite
+
+__all__ = [
+    "BYTES_PER_ROW",
+    "MicroBenchmark",
+    "PAPER_DB_SIZES",
+    "TPCB",
+    "TPCC",
+    "TPCELite",
+    "TxnBody",
+    "Workload",
+    "distinct_keys",
+    "nurand",
+    "nurand_customer",
+    "nurand_item",
+    "order_line_count",
+    "size_label",
+    "uniform_key",
+    "zipf_key",
+]

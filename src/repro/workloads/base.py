@@ -1,0 +1,86 @@
+"""Workload framework.
+
+A workload declares its tables (:class:`~repro.engines.common.TableSpec`)
+and generates transactions as ``(procedure_name, body)`` pairs, where
+*body* is a callable driving the engine-agnostic
+:class:`~repro.engines.base.Transaction` API.  The same body runs
+unchanged on all five engines — exactly how the paper runs the same
+benchmark against every system.
+
+Partition-aware generation supports the paper's multi-threaded setup:
+for VoltDB "we also use multiple data partitions and ensure that all
+transactions access only a single partition" (Section 3), so the runner
+asks for transactions homed to a given partition.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.engines.base import Transaction
+from repro.engines.common import TableSpec
+
+TxnBody = Callable[[Transaction], None]
+
+
+class Workload(ABC):
+    """A benchmark: tables plus a transaction stream."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def table_specs(self) -> list[TableSpec]:
+        """The tables this workload needs."""
+
+    @abstractmethod
+    def next_transaction(
+        self,
+        rng: random.Random,
+        *,
+        partition: int | None = None,
+        n_partitions: int = 1,
+    ) -> tuple[str, TxnBody]:
+        """One transaction: (procedure name, body).
+
+        When *partition* is given, every key the body touches must home
+        to that partition (single-sited execution).
+        """
+
+    def setup(self, engine) -> None:
+        """Create this workload's tables on *engine*."""
+        engine.create_tables(self.table_specs())
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def partition_range(n_keys: int, partition: int | None, n_partitions: int) -> tuple[int, int]:
+        """[lo, hi) key range for a partition (whole domain when None)."""
+        if partition is None or n_partitions <= 1:
+            return 0, n_keys
+        per = -(-n_keys // n_partitions)
+        lo = min(partition * per, n_keys - 1)
+        return lo, min(lo + per, n_keys)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(spec.logical_bytes for spec in self.table_specs())
+
+
+def size_label(n_bytes: int) -> str:
+    """Human label matching the paper's x-axes (1MB, 10MB, 10GB, 100GB)."""
+    gb = 1 << 30
+    mb = 1 << 20
+    if n_bytes >= gb:
+        return f"{n_bytes // gb}GB"
+    return f"{max(1, n_bytes // mb)}MB"
+
+
+PAPER_DB_SIZES: dict[str, int] = {
+    "1MB": 1 << 20,
+    "10MB": 10 << 20,
+    "10GB": 10 << 30,
+    "100GB": 100 << 30,
+}
+"""The four database sizes of Figures 1-3 / 20-22."""

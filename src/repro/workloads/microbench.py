@@ -1,0 +1,87 @@
+"""The paper's micro-benchmark (Section 3, "Benchmarks").
+
+A randomly generated two-column (key, value) table, both columns Long —
+or both 50-byte Strings for the data-type study of Section 6.2.  The
+read-only variant reads N random rows via index lookups; the read-write
+variant updates N random rows.  N ∈ {1, 10, 100} and the table is sized
+to 1 MB / 10 MB / 10 GB / 100 GB.
+
+Row count follows the paper's arithmetic: a 100 GB database holds "more
+than one billion rows", i.e. ~80 bytes of total footprint per row
+(tuple + index entries + per-row metadata); :data:`BYTES_PER_ROW`
+captures that so database-size labels mean the same thing here as in
+the figures.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engines.common import TableSpec
+from repro.storage.record import ColumnType, LONG, microbench_schema
+from repro.workloads.base import TxnBody, Workload
+from repro.workloads.keys import distinct_keys
+
+BYTES_PER_ROW = 80
+"""Total per-row footprint (tuple + index + metadata): 100 GB -> 1.25 G rows."""
+
+TABLE = "micro"
+
+
+class MicroBenchmark(Workload):
+    """Read-only / read-write random-row micro-benchmark."""
+
+    def __init__(
+        self,
+        *,
+        db_bytes: int,
+        rows_per_txn: int = 1,
+        read_write: bool = False,
+        column_type: ColumnType = LONG,
+    ) -> None:
+        if db_bytes < BYTES_PER_ROW * 1000:
+            raise ValueError("database too small to be meaningful")
+        if rows_per_txn < 1:
+            raise ValueError("rows_per_txn must be >= 1")
+        self.db_bytes = db_bytes
+        self.n_rows = max(1000, db_bytes // BYTES_PER_ROW)
+        self.rows_per_txn = rows_per_txn
+        self.read_write = read_write
+        self.column_type = column_type
+        variant = "rw" if read_write else "ro"
+        self.name = f"micro_{variant}_{rows_per_txn}"
+        self._procedure = f"{self.name}_{column_type.name}"
+
+    def table_specs(self) -> list[TableSpec]:
+        return [TableSpec(TABLE, microbench_schema(self.column_type), self.n_rows)]
+
+    def next_transaction(
+        self,
+        rng: random.Random,
+        *,
+        partition: int | None = None,
+        n_partitions: int = 1,
+    ) -> tuple[str, TxnBody]:
+        lo, hi = self.partition_range(self.n_rows, partition, n_partitions)
+        domain = hi - lo
+        if self.rows_per_txn == 1:
+            keys = [lo + rng.randrange(domain)]
+        else:
+            keys = [lo + k for k in distinct_keys(rng, domain, min(self.rows_per_txn, domain))]
+
+        if self.read_write:
+            new_value = self.column_type.default_value(rng.getrandbits(30))
+
+            def body(txn) -> None:
+                for key in keys:
+                    txn.update(TABLE, key, "value", new_value)
+
+        else:
+
+            def body(txn) -> None:
+                for key in keys:
+                    row = txn.read(TABLE, key)
+                    if row is None:
+                        raise LookupError(f"populated key {key} missing")
+
+        return self._procedure, body

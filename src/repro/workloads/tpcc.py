@@ -1,0 +1,323 @@
+"""TPC-C: the wholesale-supplier benchmark (paper Section 5.2).
+
+Nine tables, five transaction types with the standard mix — NewOrder
+45 %, Payment 43 %, OrderStatus 4 %, Delivery 4 %, StockLevel 4 % (the
+two read-only types are the 8 %).  Transactions contain probes,
+inserts, updates and index scans, "covering a richer set of operations
+than TPC-B".
+
+Composite keys are encoded densely so every engine's integer-keyed
+index can serve them, and so range partitioning by key doubles as
+partitioning by warehouse:
+
+* ``district = w*10 + d``
+* ``customer = district*3000 + c``
+* ``order    = district*ORDER_CAP + o``  (ORDER_CAP reserves headroom
+  for inserted orders inside the dense domain)
+* ``order_line = order*MAX_LINES + line``
+* ``stock    = w*100000 + i``; ``item = i`` (replicated on partitioned
+  engines, as VoltDB replicates read-only Item).
+
+Each district's ``next_o_id`` lives in the district row (updated by
+NewOrder) and is mirrored in workload state for key arithmetic, and the
+per-order line count is derived deterministically from the order row so
+pre-populated and inserted orders behave uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engines.base import UserAbort
+from repro.engines.common import TableSpec
+from repro.storage.record import LONG, Schema
+from repro.workloads.base import TxnBody, Workload
+from repro.workloads.keys import nurand_customer, nurand_item
+
+DISTRICTS_PER_WAREHOUSE = 10
+CUSTOMERS_PER_DISTRICT = 3000
+INITIAL_ORDERS_PER_DISTRICT = 3000
+ORDER_CAP = 4096  # dense per-district order-id capacity (3000 + headroom)
+MAX_LINES = 15
+ITEMS = 100_000
+STOCK_PER_WAREHOUSE = ITEMS
+FIRST_UNDELIVERED = 2100  # NEW-ORDER initially holds orders 2100..2999
+
+BYTES_PER_WAREHOUSE = 100 << 20
+"""Approximate logical footprint per warehouse (sets W from db size)."""
+
+# Standard mix (clause 5.2.3 deck probabilities).
+MIX = (
+    ("new_order", 0.45),
+    ("payment", 0.43),
+    ("order_status", 0.04),
+    ("delivery", 0.04),
+    ("stock_level", 0.04),
+)
+
+
+def _schema(name: str, n_longs: int) -> Schema:
+    columns = tuple((f"c{i}" if i else "id", LONG) for i in range(n_longs))
+    return Schema(name=name, columns=columns, header_bytes=8)
+
+
+def order_line_count(order_row: tuple) -> int:
+    """Deterministic 5..15 line count derived from the order row."""
+    return 5 + (abs(int(order_row[2])) % (MAX_LINES - 4))
+
+
+class TPCC(Workload):
+    """The five-transaction TPC-C mix over nine tables."""
+
+    name = "tpcc"
+
+    def __init__(self, *, db_bytes: int = 100 << 30, warehouses: int | None = None) -> None:
+        self.n_warehouses = warehouses or max(2, db_bytes // BYTES_PER_WAREHOUSE)
+        self.n_districts = self.n_warehouses * DISTRICTS_PER_WAREHOUSE
+        self.db_bytes = db_bytes
+        # Mirrors the district rows' next_o_id / oldest undelivered id.
+        self._next_o_id: dict[int, int] = {}
+        self._next_delivery: dict[int, int] = {}
+
+    # -- schema ---------------------------------------------------------------
+
+    def table_specs(self) -> list[TableSpec]:
+        w = self.n_warehouses
+        d = self.n_districts
+        return [
+            TableSpec("warehouse", _schema("warehouse", 9), w, warm_priority=3),
+            TableSpec("district", _schema("district", 11), d, warm_priority=3),
+            TableSpec("customer", _schema("customer", 21), d * CUSTOMERS_PER_DISTRICT),
+            TableSpec("history", _schema("history", 8), 1, grows=True, warm_priority=1),
+            TableSpec("orders", _schema("orders", 8), d * ORDER_CAP, grows=True),
+            TableSpec("new_order", _schema("new_order", 3), d * ORDER_CAP, grows=True),
+            TableSpec(
+                "order_line", _schema("order_line", 10), d * ORDER_CAP * MAX_LINES, grows=True
+            ),
+            TableSpec("item", _schema("item", 5), ITEMS, replicated=True, warm_priority=2),
+            TableSpec("stock", _schema("stock", 17), w * STOCK_PER_WAREHOUSE),
+        ]
+
+    # -- key helpers -------------------------------------------------------------
+
+    @staticmethod
+    def district_key(w: int, d: int) -> int:
+        return w * DISTRICTS_PER_WAREHOUSE + d
+
+    @staticmethod
+    def customer_key(district_key: int, c: int) -> int:
+        return district_key * CUSTOMERS_PER_DISTRICT + c
+
+    @staticmethod
+    def order_key(district_key: int, o: int) -> int:
+        return district_key * ORDER_CAP + o
+
+    @staticmethod
+    def order_line_key(order_key: int, line: int) -> int:
+        return order_key * MAX_LINES + line
+
+    @staticmethod
+    def stock_key(w: int, item: int) -> int:
+        return w * STOCK_PER_WAREHOUSE + item
+
+    def next_o_id(self, district_key: int) -> int:
+        return self._next_o_id.get(district_key, INITIAL_ORDERS_PER_DISTRICT)
+
+    # -- generation ---------------------------------------------------------------
+
+    def _pick_warehouse(self, rng: random.Random, partition, n_partitions) -> int:
+        lo, hi = self.partition_range(self.n_warehouses, partition, n_partitions)
+        return lo + rng.randrange(hi - lo)
+
+    def next_transaction(
+        self,
+        rng: random.Random,
+        *,
+        partition: int | None = None,
+        n_partitions: int = 1,
+    ) -> tuple[str, TxnBody]:
+        r = rng.random()
+        acc = 0.0
+        kind = MIX[-1][0]
+        for name, p in MIX:
+            acc += p
+            if r < acc:
+                kind = name
+                break
+        w = self._pick_warehouse(rng, partition, n_partitions)
+        builder = getattr(self, f"_gen_{kind}")
+        return kind, builder(rng, w, remote_allowed=partition is None)
+
+    # -- NewOrder (45%) ---------------------------------------------------------------
+
+    def _gen_new_order(self, rng: random.Random, w: int, *, remote_allowed: bool) -> TxnBody:
+        d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        dk = self.district_key(w, d)
+        c = nurand_customer(rng, CUSTOMERS_PER_DISTRICT)
+        n_lines = rng.randint(5, MAX_LINES)
+        items = []
+        for _ in range(n_lines):
+            item = nurand_item(rng, ITEMS)
+            supply_w = w
+            if remote_allowed and self.n_warehouses > 1 and rng.random() < 0.10:
+                supply_w = rng.randrange(self.n_warehouses)
+            items.append((item, supply_w, rng.randint(1, 10)))
+        # Clause 2.4.1.4: 1% of NewOrders roll back on an invalid item.
+        rollback = rng.random() < 0.01
+        o_id = self.next_o_id(dk)
+        if o_id >= ORDER_CAP:  # wrap within the reserved dense range
+            o_id = INITIAL_ORDERS_PER_DISTRICT
+        self._next_o_id[dk] = o_id + 1
+        ok = self.order_key(dk, o_id)
+        workload = self
+
+        def body(txn) -> None:
+            txn.read("warehouse", w)
+            txn.update("district", dk, "c1", lambda v: v + 1)  # next_o_id++
+            txn.read("customer", workload.customer_key(dk, c))
+            txn.insert("orders", (ok, dk, n_lines, 0, 0, 0, 0, 0), key=ok)
+            txn.insert("new_order", (ok, dk, 0), key=ok)
+            for line, (item, supply_w, qty) in enumerate(items):
+                item_row = txn.read("item", item)
+                if item_row is None:
+                    raise UserAbort("invalid item")
+                txn.update("stock", workload.stock_key(supply_w, item), "c2",
+                           lambda v, q=qty: v - q)
+                txn.insert(
+                    "order_line",
+                    (ok, line, item, supply_w, qty, 0, 0, 0, 0, 0),
+                    key=workload.order_line_key(ok, line),
+                )
+            if rollback:
+                raise UserAbort("1% rollback")
+
+        return body
+
+    # -- Payment (43%) ---------------------------------------------------------------
+
+    def _gen_payment(self, rng: random.Random, w: int, *, remote_allowed: bool) -> TxnBody:
+        d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        dk = self.district_key(w, d)
+        # 15% remote customer (skipped when homed to one partition).
+        cw, cd = w, d
+        if remote_allowed and self.n_warehouses > 1 and rng.random() < 0.15:
+            cw = rng.randrange(self.n_warehouses)
+            cd = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        cdk = self.district_key(cw, cd)
+        c = nurand_customer(rng, CUSTOMERS_PER_DISTRICT)
+        by_lastname = rng.random() < 0.60
+        amount = rng.randint(1, 5000)
+        workload = self
+
+        def body(txn) -> None:
+            txn.update("warehouse", w, "c1", lambda v: v + amount)  # w_ytd
+            txn.update("district", dk, "c2", lambda v: v + amount)  # d_ytd
+            ck = workload.customer_key(cdk, c)
+            if by_lastname:
+                # Same-last-name scan: examine the neighbouring cluster
+                # of customers, pick the middle one (clause 2.5.2.2).
+                base = max(0, min(c - 2, CUSTOMERS_PER_DISTRICT - 4))
+                for i in range(4):
+                    txn.read("customer", workload.customer_key(cdk, base + i))
+                ck = workload.customer_key(cdk, base + 2)
+            txn.update("customer", ck, "c1", lambda v: v - amount)  # balance
+            txn.insert("history", (ck, cdk, dk, w, amount, 0, 0, 0))
+
+        return body
+
+    # -- OrderStatus (4%, read-only) ------------------------------------------------------
+
+    def _gen_order_status(self, rng: random.Random, w: int, *, remote_allowed: bool) -> TxnBody:
+        d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        dk = self.district_key(w, d)
+        c = nurand_customer(rng, CUSTOMERS_PER_DISTRICT)
+        by_lastname = rng.random() < 0.60
+        o_id = rng.randrange(self.next_o_id(dk))
+        workload = self
+
+        def body(txn) -> None:
+            if by_lastname:
+                base = max(0, min(c - 2, CUSTOMERS_PER_DISTRICT - 4))
+                for i in range(4):
+                    txn.read("customer", workload.customer_key(dk, base + i))
+            else:
+                txn.read("customer", workload.customer_key(dk, c))
+            ok = workload.order_key(dk, o_id)
+            order_row = txn.read("orders", ok)
+            if order_row is None:
+                return
+            lines = order_line_count(order_row)
+            txn.scan("order_line", workload.order_line_key(ok, 0), lines)
+
+        return body
+
+    # -- Delivery (4%) ------------------------------------------------------------------
+
+    def _gen_delivery(self, rng: random.Random, w: int, *, remote_allowed: bool) -> TxnBody:
+        carrier = rng.randint(1, 10)
+        districts = []
+        for d in range(DISTRICTS_PER_WAREHOUSE):
+            dk = self.district_key(w, d)
+            oldest = self._next_delivery.get(dk, FIRST_UNDELIVERED)
+            if oldest < self.next_o_id(dk):
+                self._next_delivery[dk] = oldest + 1
+                districts.append((dk, oldest))
+        workload = self
+
+        def body(txn) -> None:
+            for dk, o_id in districts:
+                ok = workload.order_key(dk, o_id)
+                if not txn.delete("new_order", ok):
+                    continue
+                order_row = txn.update("orders", ok, "c3", carrier)  # o_carrier_id
+                lines = order_line_count(order_row)
+                total = 0
+                for line, (_, line_row) in enumerate(
+                    txn.scan("order_line", workload.order_line_key(ok, 0), lines)
+                ):
+                    txn.update(
+                        "order_line", workload.order_line_key(ok, line), "c6", 1
+                    )  # delivery date
+                    total += int(line_row[4])
+                customer = int(order_row[1]) % CUSTOMERS_PER_DISTRICT
+                txn.update(
+                    "customer",
+                    workload.customer_key(dk, customer),
+                    "c1",
+                    lambda v, t=total: v + t,
+                )
+
+        return body
+
+    # -- StockLevel (4%, read-only) -----------------------------------------------------------
+
+    def _gen_stock_level(self, rng: random.Random, w: int, *, remote_allowed: bool) -> TxnBody:
+        d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        dk = self.district_key(w, d)
+        threshold = rng.randint(10, 20)
+        next_o = self.next_o_id(dk)
+        first = max(0, next_o - 20)
+        workload = self
+
+        def body(txn) -> None:
+            txn.read("district", dk)
+            low = 0
+            seen: set[int] = set()
+            for o_id in range(first, next_o):
+                ok = workload.order_key(dk, o_id)
+                order_row = txn.read("orders", ok)
+                if order_row is None:
+                    continue
+                lines = order_line_count(order_row)
+                for _, line_row in txn.scan(
+                    "order_line", workload.order_line_key(ok, 0), lines
+                ):
+                    item = int(line_row[2]) % ITEMS
+                    if item in seen:
+                        continue
+                    seen.add(item)
+                    stock_row = txn.read("stock", workload.stock_key(w, item))
+                    if stock_row is not None and int(stock_row[2]) % 100 < threshold:
+                        low += 1
+
+        return body

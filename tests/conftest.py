@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.core.spec import CacheSpec, IVY_BRIDGE, ServerSpec
+from repro.core.trace import AccessTrace
+from repro.storage.address_space import DataAddressSpace
+
+# A deliberately tiny server so cache-capacity effects are cheap to hit.
+TINY_SERVER = ServerSpec(
+    name="tiny-test-server",
+    n_sockets=1,
+    cores_per_socket=4,
+    clock_ghz=1.0,
+    memory_gb=1,
+    l1i=CacheSpec("L1I", 2 * 1024, 2, miss_penalty_cycles=8),
+    l1d=CacheSpec("L1D", 2 * 1024, 2, miss_penalty_cycles=8),
+    l2=CacheSpec("L2", 8 * 1024, 4, miss_penalty_cycles=19),
+    llc=CacheSpec("LLC", 64 * 1024, 8, miss_penalty_cycles=167),
+)
+
+
+@pytest.fixture
+def space() -> DataAddressSpace:
+    return DataAddressSpace()
+
+
+@pytest.fixture
+def trace() -> AccessTrace:
+    return AccessTrace()
+
+
+@pytest.fixture
+def machine() -> Machine:
+    return Machine(IVY_BRIDGE, n_cores=1)
+
+
+@pytest.fixture
+def tiny_machine() -> Machine:
+    return Machine(TINY_SERVER, n_cores=1)
+
+
+@pytest.fixture
+def tiny_machine_mc() -> Machine:
+    return Machine(TINY_SERVER, n_cores=2)

@@ -1,0 +1,108 @@
+"""Analysis-extension tests: breakdowns, hardware sweeps, skew."""
+
+import pytest
+
+from repro.analysis import (
+    profile_modules,
+    render_breakdown,
+    render_skew,
+    render_sweep,
+    sweep_core_width,
+    sweep_l1i_size,
+    sweep_llc_size,
+    sweep_skew,
+    SkewedMicroBenchmark,
+)
+from repro.bench.runner import RunSpec
+from repro.workloads.microbench import MicroBenchmark
+
+
+def micro_factory():
+    return MicroBenchmark(db_bytes=100 << 30)
+
+
+def quick_spec(system="dbms-d") -> RunSpec:
+    return RunSpec(system=system).quick()
+
+
+class TestModuleBreakdown:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return profile_modules(
+            quick_spec("dbms-d"), micro_factory, measure_txns=40, warmup_txns=10
+        )
+
+    def test_covers_all_touched_modules(self, profiles):
+        names = {p.name for p in profiles}
+        assert "parser" in names
+        assert "btree" in names
+
+    def test_sorted_by_cycles(self, profiles):
+        cycles = [p.cycles for p in profiles]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_groups_assigned(self, profiles):
+        assert {p.group for p in profiles} >= {"engine", "other"}
+
+    def test_misses_accumulated(self, profiles):
+        assert sum(p.l1i_misses for p in profiles) > 0
+        assert sum(p.llcd_misses for p in profiles) > 0
+        assert sum(p.instructions for p in profiles) > 0
+
+    def test_render(self, profiles):
+        text = render_breakdown(profiles)
+        assert "inside the OLTP engine" in text
+        assert "parser" in text
+
+
+class TestHardwareSweeps:
+    def test_bigger_l1i_fewer_instruction_stalls(self):
+        points = sweep_l1i_size(quick_spec("dbms-d"), micro_factory, sizes_kb=(32, 256))
+        assert points[1].l1i_stalls_per_ki < 0.5 * points[0].l1i_stalls_per_ki
+        assert points[1].ipc > points[0].ipc
+
+    def test_llc_growth_barely_helps_at_100gb(self):
+        """Section 8: megabytes of LLC never hold gigabytes of data."""
+        points = sweep_llc_size(quick_spec("hyper"), micro_factory, sizes_mb=(20, 80))
+        assert points[1].ipc < points[0].ipc * 1.3
+
+    def test_narrow_core_loses_little(self):
+        points = sweep_core_width(
+            quick_spec("shore-mt"), micro_factory, ideal_ipcs=(1.5, 3.0)
+        )
+        narrow, wide = points[0], points[1]
+        assert narrow.ipc > 0.6 * wide.ipc  # half the width, small loss
+
+    def test_render(self):
+        points = sweep_l1i_size(quick_spec("voltdb"), micro_factory, sizes_kb=(32,))
+        text = render_sweep("sweep", points)
+        assert "L1I=32KB" in text
+
+
+class TestSkewExtension:
+    def test_workload_generates_in_range(self):
+        import random
+
+        wl = SkewedMicroBenchmark(db_bytes=1 << 20, theta=0.9)
+        rng = random.Random(0)
+        keys = []
+
+        class Spy:
+            def read(self, table, key):
+                keys.append(key)
+                return (key, 0)
+
+        for _ in range(100):
+            _, body = wl.next_transaction(rng)
+            body(Spy())
+        assert all(0 <= k < wl.n_rows for k in keys)
+
+    def test_skew_recovers_ipc(self):
+        points = sweep_skew("hyper", thetas=(0.0, 0.95), quick=True)
+        uniform, skewed = points[0], points[1]
+        assert skewed.ipc > uniform.ipc
+        assert skewed.llcd_stalls_per_ki < uniform.llcd_stalls_per_ki
+
+    def test_render(self):
+        points = sweep_skew("hyper", thetas=(0.0,), quick=True)
+        assert "theta" in render_skew(points)

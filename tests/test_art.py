@@ -1,0 +1,172 @@
+"""Adaptive Radix Tree tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.trace import AccessTrace, DLOAD_SERIAL
+from repro.storage.address_space import DataAddressSpace
+from repro.storage.art import (
+    AdaptiveRadixTree,
+    NODE4,
+    NODE16,
+    NODE48,
+    NODE256,
+    _Inner,
+    key_to_bytes,
+)
+
+
+def make() -> AdaptiveRadixTree:
+    return AdaptiveRadixTree("a", DataAddressSpace())
+
+
+class TestKeyEncoding:
+    def test_int_big_endian(self):
+        assert key_to_bytes(1, 8) == b"\x00" * 7 + b"\x01"
+
+    def test_order_preserved(self):
+        assert key_to_bytes(100) < key_to_bytes(200)
+        assert key_to_bytes(255) < key_to_bytes(256)
+
+    def test_bytes_and_str_pass_through(self):
+        assert key_to_bytes(b"ab") == b"ab"
+        assert key_to_bytes("ab") == b"ab"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            key_to_bytes(-1)
+
+
+class TestCorrectness:
+    def test_roundtrip(self):
+        art = make()
+        for k in range(5000):
+            art.insert(k, k * 2)
+        for k in (0, 1234, 4999):
+            assert art.probe(k) == k * 2
+        assert art.probe(5000) is None
+        assert len(art) == 5000
+
+    def test_overwrite(self):
+        art = make()
+        art.insert(7, "a")
+        art.insert(7, "b")
+        assert art.probe(7) == "b"
+        assert len(art) == 1
+
+    def test_sparse_keys(self):
+        art = make()
+        keys = [0, 1, 255, 256, 65536, 2**40, 2**56 + 5]
+        for k in keys:
+            art.insert(k, k)
+        for k in keys:
+            assert art.probe(k) == k
+        assert art.probe(2) is None
+
+    def test_delete(self):
+        art = make()
+        for k in range(100):
+            art.insert(k, k)
+        assert art.delete(42)
+        assert art.probe(42) is None
+        assert not art.delete(42)
+        assert len(art) == 99
+        assert art.probe(41) == 41 and art.probe(43) == 43
+
+    def test_delete_root_leaf(self):
+        art = make()
+        art.insert(5, 5)
+        assert art.delete(5)
+        assert art.probe(5) is None
+        assert len(art) == 0
+
+    def test_items_in_key_order(self):
+        art = make()
+        import random
+
+        keys = random.Random(3).sample(range(100000), 500)
+        for k in keys:
+            art.insert(k, k)
+        got = [kb for kb, _ in art.items()]
+        assert got == sorted(got)
+
+    def test_range_scan(self):
+        art = make()
+        for k in range(0, 100, 2):
+            art.insert(k, k)
+        result = art.range_scan(11, 3)
+        assert [v for _, v in result] == [12, 14, 16]
+
+
+class TestAdaptiveNodes:
+    def _root_kind(self, art):
+        assert isinstance(art._root, _Inner)
+        return art._root.kind
+
+    def test_node_growth_sequence(self):
+        # Keys 0..n share 7 prefix bytes -> one inner node fanning out.
+        art = make()
+        for n, kind in [(4, NODE4), (16, NODE16), (48, NODE48), (255, NODE256)]:
+            while len(art) < n:
+                art.insert(len(art), 1)
+            assert self._root_kind(art) == kind
+
+    def test_path_compression_keeps_tree_shallow(self):
+        art = make()
+        for k in range(256):
+            art.insert(k, k)
+        # 8-byte keys but only the last byte differs: root + leaves.
+        assert art.height() == 2
+
+    def test_dense_keys_height_logarithmic(self):
+        art = make()
+        for k in range(70000):
+            art.insert(k, k)
+        assert art.height() <= 4  # ~log256(70000) inner levels + leaf
+
+
+class TestTraceEmission:
+    def test_probe_emits_one_serial_line_per_node(self):
+        art = make()
+        for k in range(70000):
+            art.insert(k, k)
+        t = AccessTrace()
+        art.probe(54321, t)
+        assert all(k == DLOAD_SERIAL for k in t.kinds)
+        assert len(t) <= art.height() + 1
+
+    def test_probe_path_matches_height(self):
+        art = make()
+        for k in range(70000):
+            art.insert(k, k)
+        assert len(art.probe_path(500)) == art.height()
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=2**60), min_size=1, max_size=300))
+def test_art_matches_dict(keys):
+    art = AdaptiveRadixTree("p", DataAddressSpace())
+    reference = {}
+    for i, k in enumerate(keys):
+        art.insert(k, i)
+        reference[k] = i
+    assert len(art) == len(reference)
+    for k in reference:
+        assert art.probe(k) == reference[k]
+    assert art.probe(2**61) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=100_000), min_size=5, max_size=150, unique=True)
+)
+def test_art_delete_matches_dict(keys):
+    art = AdaptiveRadixTree("p", DataAddressSpace())
+    for k in keys:
+        art.insert(k, k)
+    victims = keys[::2]
+    for k in victims:
+        assert art.delete(k)
+    for k in keys:
+        expected = None if k in victims else k
+        assert art.probe(k) == expected

@@ -1,0 +1,177 @@
+"""B+tree tests: correctness, structure, trace emission, properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.trace import AccessTrace, DLOAD_SERIAL
+from repro.storage.address_space import DataAddressSpace
+from repro.storage.btree import BPlusTree, binary_search_probes
+
+
+def make_tree(page_bytes=512, **kw) -> BPlusTree:
+    return BPlusTree("t", DataAddressSpace(), page_bytes=page_bytes, **kw)
+
+
+class TestBinarySearchProbes:
+    def test_finds_target(self):
+        probes = binary_search_probes(100, 37)
+        assert probes[-1] == 37
+
+    def test_probe_count_logarithmic(self):
+        for n in (10, 100, 1000):
+            for target in (0, n // 2, n - 1):
+                assert len(binary_search_probes(n, target)) <= n.bit_length() + 1
+
+    def test_single_entry(self):
+        assert binary_search_probes(1, 0) == [0]
+
+
+class TestCorrectness:
+    def test_insert_probe_roundtrip(self):
+        tree = make_tree()
+        for k in range(2000):
+            tree.insert(k, k * 3)
+        for k in (0, 999, 1999):
+            assert tree.probe(k) == k * 3
+        assert tree.probe(2000) is None
+        assert len(tree) == 2000
+
+    def test_overwrite(self):
+        tree = make_tree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.probe(1) == "b"
+        assert len(tree) == 1
+
+    def test_reverse_and_shuffled_inserts(self):
+        import random
+
+        tree = make_tree()
+        keys = list(range(1000))
+        random.Random(1).shuffle(keys)
+        for k in keys:
+            tree.insert(k, -k)
+        assert [k for k, _ in tree.items()] == sorted(keys)
+
+    def test_delete(self):
+        tree = make_tree()
+        for k in range(100):
+            tree.insert(k, k)
+        assert tree.delete(50)
+        assert tree.probe(50) is None
+        assert not tree.delete(50)
+        assert len(tree) == 99
+
+    def test_range_scan_ordered(self):
+        tree = make_tree()
+        for k in range(0, 1000, 2):
+            tree.insert(k, k)
+        result = tree.range_scan(101, 5)
+        assert result == [(102, 102), (104, 104), (106, 106), (108, 108), (110, 110)]
+
+    def test_range_scan_past_end(self):
+        tree = make_tree()
+        tree.insert(1, 1)
+        assert tree.range_scan(5, 10) == []
+
+
+class TestStructure:
+    def test_height_grows_logarithmically(self):
+        tree = make_tree(page_bytes=512)  # max ~28 entries/node
+        for k in range(5000):
+            tree.insert(k, k)
+        assert 3 <= tree.height <= 5
+
+    def test_big_pages_shallower_than_small(self):
+        big = make_tree(page_bytes=8192)
+        small = make_tree(page_bytes=256)
+        for k in range(5000):
+            big.insert(k, k)
+            small.insert(k, k)
+        assert big.height < small.height
+
+    def test_probe_path_has_height_nodes(self):
+        tree = make_tree()
+        for k in range(5000):
+            tree.insert(k, k)
+        assert len(tree.probe_path(1234)) == tree.height
+
+    def test_page_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            make_tree(page_bytes=64)
+
+
+class TestTraceEmission:
+    def test_probe_emits_serial_loads(self):
+        tree = make_tree(page_bytes=8192)
+        for k in range(20000):
+            tree.insert(k, k)
+        t = AccessTrace()
+        tree.probe(12345, t, mod=1)
+        assert len(t) >= tree.height
+        assert all(k == DLOAD_SERIAL for k in t.kinds)
+
+    def test_large_pages_touch_more_lines_than_small(self):
+        big, small = make_tree(page_bytes=8192), make_tree(page_bytes=256)
+        for k in range(20000):
+            big.insert(k, k)
+            small.insert(k, k)
+        tb, ts = AccessTrace(), AccessTrace()
+        big.probe(777, tb)
+        small.probe(777, ts)
+        assert len(tb) / big.height > len(ts) / small.height
+
+    def test_search_line_cap_limits_emission(self):
+        capped = make_tree(page_bytes=8192, search_line_cap=2)
+        free = make_tree(page_bytes=8192)
+        for k in range(20000):
+            capped.insert(k, k)
+            free.insert(k, k)
+        tc, tf = AccessTrace(), AccessTrace()
+        capped.probe(777, tc)
+        free.probe(777, tf)
+        assert len(tc) < len(tf)
+        assert len(tc) <= capped.height * 3
+
+    def test_insert_emits_store(self):
+        tree = make_tree()
+        t = AccessTrace()
+        tree.insert(1, 1, t)
+        assert any(k == 2 for k in t.kinds)  # DSTORE
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=300),
+    page_bytes=st.sampled_from([256, 512, 2048]),
+)
+def test_btree_matches_dict(keys, page_bytes):
+    """Property: a B+tree behaves like a dict plus sorted iteration."""
+    tree = BPlusTree("p", DataAddressSpace(), page_bytes=page_bytes)
+    reference: dict[int, int] = {}
+    for i, k in enumerate(keys):
+        tree.insert(k, i)
+        reference[k] = i
+    assert len(tree) == len(reference)
+    for k in reference:
+        assert tree.probe(k) == reference[k]
+    assert [k for k, _ in tree.items()] == sorted(reference)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=2000), min_size=5, max_size=200, unique=True),
+    delete_ratio=st.floats(min_value=0.1, max_value=0.9),
+)
+def test_btree_delete_matches_dict(keys, delete_ratio):
+    tree = BPlusTree("p", DataAddressSpace(), page_bytes=256)
+    reference = {}
+    for k in keys:
+        tree.insert(k, k)
+        reference[k] = k
+    victims = keys[: int(len(keys) * delete_ratio)]
+    for k in victims:
+        assert tree.delete(k) == (k in reference)
+        reference.pop(k, None)
+    for k in keys:
+        assert tree.probe(k) == reference.get(k)

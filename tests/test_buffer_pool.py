@@ -1,0 +1,92 @@
+"""Buffer-pool tests."""
+
+import pytest
+
+from repro.core.trace import AccessTrace
+from repro.storage.buffer_pool import BufferPool
+
+
+def make(n_frames=4, space=None):
+    from repro.storage.address_space import DataAddressSpace
+
+    return BufferPool("bp", space or DataAddressSpace(), n_frames=n_frames)
+
+
+class TestFixUnfix:
+    def test_first_fix_misses_then_hits(self):
+        bp = make()
+        bp.fix(1, 10)
+        bp.unfix(1, 10)
+        bp.fix(1, 10)
+        assert bp.stats.fixes == 2
+        assert bp.stats.misses == 1
+        assert bp.stats.hits == 1
+
+    def test_hit_ratio(self):
+        bp = make()
+        for _ in range(4):
+            bp.fix(1, 10)
+            bp.unfix(1, 10)
+        assert bp.hit_ratio == pytest.approx(0.75)
+
+    def test_unfix_unpinned_rejected(self):
+        bp = make()
+        with pytest.raises(RuntimeError):
+            bp.unfix(1, 10)
+
+    def test_nested_pins(self):
+        bp = make()
+        bp.fix(1, 10)
+        bp.fix(1, 10)
+        bp.unfix(1, 10)
+        bp.unfix(1, 10)
+        with pytest.raises(RuntimeError):
+            bp.unfix(1, 10)
+
+
+class TestReplacement:
+    def test_lru_eviction_of_unpinned(self):
+        bp = make(n_frames=2)
+        bp.fix(1, 1); bp.unfix(1, 1)
+        bp.fix(1, 2); bp.unfix(1, 2)
+        bp.fix(1, 3); bp.unfix(1, 3)  # evicts page 1
+        assert not bp.is_resident(1, 1)
+        assert bp.is_resident(1, 2)
+        assert bp.stats.evictions == 1
+
+    def test_pinned_pages_not_evicted(self):
+        bp = make(n_frames=2)
+        bp.fix(1, 1)  # stays pinned
+        bp.fix(1, 2); bp.unfix(1, 2)
+        bp.fix(1, 3); bp.unfix(1, 3)  # must evict page 2, not 1
+        assert bp.is_resident(1, 1)
+        assert not bp.is_resident(1, 2)
+
+    def test_all_pinned_raises(self):
+        bp = make(n_frames=2)
+        bp.fix(1, 1)
+        bp.fix(1, 2)
+        with pytest.raises(RuntimeError):
+            bp.fix(1, 3)
+
+    def test_distinct_spaces_distinct_pages(self):
+        bp = make()
+        bp.fix(1, 10)
+        bp.fix(2, 10)
+        assert bp.is_resident(1, 10) and bp.is_resident(2, 10)
+        assert bp.stats.misses == 2
+
+
+class TestEmission:
+    def test_fix_emits_pagetable_and_frame_traffic(self):
+        bp = make()
+        t = AccessTrace()
+        bp.fix(1, 10, t, mod=3)
+        assert len(t) == 3  # page-table probe + frame header RMW
+        assert all(m == 3 for m in t.mods)
+
+    def test_validation(self):
+        from repro.storage.address_space import DataAddressSpace
+
+        with pytest.raises(ValueError):
+            BufferPool("bad", DataAddressSpace(), n_frames=0)

@@ -1,0 +1,58 @@
+"""Cache-conscious B+tree tests."""
+
+import pytest
+
+from repro.core.trace import AccessTrace
+from repro.storage.address_space import DataAddressSpace
+from repro.storage.btree import BPlusTree
+from repro.storage.cc_btree import CacheConsciousBTree
+
+
+def make(node_bytes=None) -> CacheConsciousBTree:
+    return CacheConsciousBTree("cc", DataAddressSpace(), node_bytes=node_bytes)
+
+
+class TestConstruction:
+    def test_default_node_is_a_few_lines(self):
+        tree = make()
+        assert tree.page_bytes == 256
+
+    def test_node_must_be_line_multiple(self):
+        with pytest.raises(ValueError):
+            make(node_bytes=200)
+
+    def test_node_must_fit_two_entries(self):
+        with pytest.raises(ValueError):
+            make(node_bytes=64)
+
+    def test_is_a_bplustree(self):
+        assert isinstance(make(), BPlusTree)
+
+
+class TestBehaviour:
+    def test_roundtrip(self):
+        tree = make()
+        for k in range(3000):
+            tree.insert(k, k + 1)
+        assert tree.probe(2500) == 2501
+        assert tree.probe(3001) is None
+
+    def test_fewer_lines_per_level_than_disk_pages(self):
+        """The VoltDB-vs-Shore index property (Figure 3)."""
+        cc = make(node_bytes=256)
+        disk = BPlusTree("d", DataAddressSpace(), page_bytes=8192)
+        for k in range(20000):
+            cc.insert(k, k)
+            disk.insert(k, k)
+        tc, td = AccessTrace(), AccessTrace()
+        cc.probe(777, tc)
+        disk.probe(777, td)
+        assert len(tc) / cc.height < len(td) / disk.height
+
+    def test_deeper_than_disk_tree(self):
+        cc = make()
+        disk = BPlusTree("d", DataAddressSpace(), page_bytes=8192)
+        for k in range(20000):
+            cc.insert(k, k)
+            disk.insert(k, k)
+        assert cc.height > disk.height

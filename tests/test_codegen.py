@@ -1,0 +1,187 @@
+"""Code-module, layout, walker and compiler tests."""
+
+import pytest
+
+from repro.codegen.compiler import (
+    CompilerProfile,
+    DBMS_M_COMPILER,
+    HYPER_COMPILER,
+    TransactionCompiler,
+)
+from repro.codegen.layout import CODE_SEGMENT_LINES, CodeLayout
+from repro.codegen.module import CodeModule, ENGINE, OTHER
+from repro.codegen.walker import CodeWalker
+from repro.core.trace import AccessTrace
+
+
+def module(name="m", kb=64, group=ENGINE, **kw) -> CodeModule:
+    return CodeModule(name, group, kb * 1024, **kw)
+
+
+class TestCodeModule:
+    def test_footprint_lines(self):
+        assert module(kb=64).footprint_lines == 1024
+
+    def test_instruction_density(self):
+        m = module(instructions_per_line=16)
+        assert m.instructions_for_lines(10) == 160
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"group": "bogus"},
+            {"footprint_bytes": 0},
+            {"instructions_per_line": 0},
+            {"mispredict_rate": 1.5},
+            {"base_cpi": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(name="m", group=ENGINE, footprint_bytes=1024)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            CodeModule(**base)
+
+
+class TestCodeLayout:
+    def test_modules_get_disjoint_page_aligned_ranges(self):
+        layout = CodeLayout()
+        a = layout.add(module("a", kb=10))
+        b = layout.add(module("b", kb=10))
+        end_a = layout.base_line(a) + layout.module(a).footprint_lines
+        assert layout.base_line(b) >= end_a
+        assert layout.base_line(a) % 64 == 0  # 4 KB pages = 64 lines
+
+    def test_lookup_apis(self):
+        layout = CodeLayout()
+        mod_id = layout.add(module("parser", group=OTHER))
+        assert layout.id_of("parser") == mod_id
+        assert layout.name_of(mod_id) == "parser"
+        assert layout.group_of(mod_id) == OTHER
+        assert "parser" in layout
+        assert len(layout) == 1
+
+    def test_duplicate_name_rejected(self):
+        layout = CodeLayout()
+        layout.add(module("x"))
+        with pytest.raises(ValueError):
+            layout.add(module("x"))
+
+    def test_engine_ids_and_footprint_totals(self):
+        layout = CodeLayout()
+        e = layout.add(module("e", kb=10, group=ENGINE))
+        layout.add(module("o", kb=20, group=OTHER))
+        assert layout.engine_ids() == [e]
+        assert layout.total_footprint_bytes(ENGINE) == 10 * 1024
+        assert layout.total_footprint_bytes() == 30 * 1024
+
+    def test_code_below_data_segment(self):
+        layout = CodeLayout()
+        mod_id = layout.add(module("m", kb=512))
+        top = layout.base_line(mod_id) + layout.module(mod_id).footprint_lines
+        assert top < CODE_SEGMENT_LINES
+
+
+class TestCodeWalker:
+    def make(self, **kw):
+        layout = CodeLayout()
+        mod_id = layout.add(module("m", kb=64, **kw))
+        return layout, CodeWalker(layout), mod_id
+
+    def test_full_walk_emits_all_lines(self):
+        layout, walker, mod_id = self.make()
+        t = AccessTrace()
+        instr = walker.run(t, mod_id, 1.0)
+        assert len(t) == 1024
+        assert instr == t.instructions
+
+    def test_fraction_walk(self):
+        layout, walker, mod_id = self.make()
+        t = AccessTrace()
+        walker.run(t, mod_id, 0.25)
+        assert len(t) == 256
+
+    def test_same_slice_same_lines(self):
+        layout, walker, mod_id = self.make()
+        t1, t2 = AccessTrace(), AccessTrace()
+        walker.run_segment(t1, mod_id, 0.25, 0.5)
+        walker.run_segment(t2, mod_id, 0.25, 0.5)
+        assert t1.addrs == t2.addrs
+
+    def test_disjoint_slices_disjoint_lines(self):
+        layout, walker, mod_id = self.make()
+        t1, t2 = AccessTrace(), AccessTrace()
+        walker.run_segment(t1, mod_id, 0.0, 0.5)
+        walker.run_segment(t2, mod_id, 0.5, 1.0)
+        assert not set(t1.addrs) & set(t2.addrs)
+
+    def test_loop_refetches_body(self):
+        layout, walker, mod_id = self.make()
+        t = AccessTrace()
+        walker.loop(t, mod_id, 0.0, 0.1, iterations=5)
+        assert len(t) == 5 * 102  # 10% of 1024 lines, five times
+        assert len(set(t.addrs)) == 102
+
+    def test_invalid_segment_rejected(self):
+        layout, walker, mod_id = self.make()
+        with pytest.raises(ValueError):
+            walker.run_segment(AccessTrace(), mod_id, 0.5, 0.4)
+
+    def test_branch_accounting_with_carry(self):
+        layout, walker, mod_id = self.make(
+            branches_per_kilo_instruction=100, mispredict_rate=0.5
+        )
+        t = AccessTrace()
+        for _ in range(50):
+            walker.run_segment(t, mod_id, 0.0, 0.01)
+        # ~10 lines/walk * 14 ipl * 50 = ~7000 instr -> ~700 branches.
+        assert t.branches == pytest.approx(t.instructions * 0.1, rel=0.05)
+        assert t.mispredicts == pytest.approx(t.branches * 0.5, rel=0.1)
+
+    def test_base_cycles_accounted(self):
+        layout, walker, mod_id = self.make(base_cpi=0.5)
+        t = AccessTrace()
+        walker.run(t, mod_id, 1.0)
+        assert t.base_cycles == pytest.approx(t.instructions * 0.5)
+
+
+class TestCompiler:
+    def test_footprint_fraction_of_replaced(self):
+        layout = CodeLayout()
+        compiler = TransactionCompiler(CompilerProfile("t", footprint_factor=0.1))
+        replaced = [module("a", kb=100), module("b", kb=100)]
+        mod_id = compiler.compile(layout, "proc", replaced)
+        compiled = layout.module(mod_id)
+        assert compiled.footprint_bytes == int(200 * 1024 * 0.1)
+        assert compiled.group == ENGINE
+        assert compiled.name == "compiled:proc"
+
+    def test_minimum_footprint_floor(self):
+        layout = CodeLayout()
+        compiler = TransactionCompiler(
+            CompilerProfile("t", footprint_factor=0.001, min_footprint_bytes=4096)
+        )
+        mod_id = compiler.compile(layout, "p", [module("a", kb=10)])
+        assert layout.module(mod_id).footprint_bytes == 4096
+
+    def test_requires_replaced_modules(self):
+        compiler = TransactionCompiler(HYPER_COMPILER)
+        with pytest.raises(ValueError):
+            compiler.compile(CodeLayout(), "p", [])
+
+    def test_hyper_more_aggressive_than_dbms_m(self):
+        assert HYPER_COMPILER.footprint_factor < DBMS_M_COMPILER.footprint_factor
+
+    def test_compiled_code_is_dense_and_predictable(self):
+        layout = CodeLayout()
+        mod_id = TransactionCompiler(HYPER_COMPILER).compile(
+            layout, "p", [module("a", kb=100)]
+        )
+        compiled = layout.module(mod_id)
+        assert compiled.instructions_per_line >= 15
+        assert compiled.branches_per_kilo_instruction < 100
+        assert compiled.base_cpi < 0.4
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValueError):
+            CompilerProfile("bad", footprint_factor=0.0)

@@ -1,0 +1,59 @@
+"""PerfCounters arithmetic tests."""
+
+import pytest
+
+from repro.core.counters import PerfCounters
+
+
+class TestSnapshotDelta:
+    def test_delta_subtracts(self):
+        c = PerfCounters(instructions=100, cycles=200, l1i_misses=5)
+        snap = c.snapshot()
+        c.instructions += 50
+        c.cycles += 80
+        c.l1i_misses += 2
+        d = c.delta(snap)
+        assert d.instructions == 50
+        assert d.cycles == 80
+        assert d.l1i_misses == 2
+
+    def test_snapshot_is_independent(self):
+        c = PerfCounters(instructions=10)
+        snap = c.snapshot()
+        c.instructions = 99
+        assert snap.instructions == 10
+
+    def test_add(self):
+        a = PerfCounters(instructions=1, transactions=1)
+        b = PerfCounters(instructions=2, transactions=3)
+        a.add(b)
+        assert a.instructions == 3
+        assert a.transactions == 4
+
+    def test_scaled(self):
+        c = PerfCounters(instructions=100, cycles=300)
+        half = c.scaled(0.5)
+        assert half.instructions == 50
+        assert half.cycles == 150
+
+    def test_reset(self):
+        c = PerfCounters(instructions=5, llcd_misses=7)
+        c.reset()
+        assert c.instructions == 0
+        assert c.llcd_misses == 0
+
+
+class TestDerived:
+    def test_ipc(self):
+        c = PerfCounters(instructions=300, cycles=100)
+        assert c.ipc == pytest.approx(3.0)
+
+    def test_ipc_zero_cycles(self):
+        assert PerfCounters().ipc == 0.0
+
+    def test_as_dict_roundtrip(self):
+        c = PerfCounters(instructions=9, llci_misses=1)
+        d = c.as_dict()
+        assert d["instructions"] == 9
+        assert d["llci_misses"] == 1
+        assert PerfCounters(**d).as_dict() == d

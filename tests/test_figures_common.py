@@ -1,0 +1,65 @@
+"""Tests for the shared figure builders."""
+
+import pytest
+
+from repro.bench.figures.common import (
+    MICRO_SIZES,
+    MULTITHREADED_SYSTEMS,
+    ROWS_SWEEP,
+    engine_config_for,
+    labels,
+    micro_rows_sweep,
+    micro_size_sweep,
+    tpc_sweep,
+)
+from repro.bench.results import IPC, STALLS_PER_KI
+
+
+class TestConfiguration:
+    def test_paper_axes(self):
+        assert MICRO_SIZES == ["1MB", "10MB", "10GB", "100GB"]
+        assert ROWS_SWEEP == [1, 10, 100]
+
+    def test_multithreaded_excludes_hyper(self):
+        assert "hyper" not in MULTITHREADED_SYSTEMS
+        assert len(MULTITHREADED_SYSTEMS) == 4
+
+    def test_dbms_m_uses_btree_only_for_tpcc(self):
+        """Section 3: hash for micro/TPC-B, B-tree for TPC-C."""
+        assert engine_config_for("dbms-m", "tpcc").index_kind == "cc_btree"
+        assert engine_config_for("dbms-m", "micro").index_kind is None
+        assert engine_config_for("dbms-m", "tpcb").index_kind is None
+        assert engine_config_for("voltdb", "tpcc").index_kind is None
+
+    def test_engine_config_always_analytic(self):
+        assert engine_config_for("hyper", "micro").materialize_threshold == 0
+
+    def test_labels(self):
+        assert labels(["shore-mt", "dbms-m"]) == ["Shore-MT", "DBMS M"]
+
+
+class TestSweepBuilders:
+    def test_micro_size_sweep_structure(self):
+        fig = micro_size_sweep(
+            "T", "t", IPC, read_write=False, quick=True,
+            sizes=["1MB"], systems=["hyper"],
+        )
+        assert fig.x_values == ["1MB"]
+        assert fig.systems == ["HyPer"]
+        assert 0 < fig.value("HyPer", "1MB") < 4
+
+    def test_micro_rows_sweep_structure(self):
+        fig = micro_rows_sweep(
+            "T", "t", STALLS_PER_KI, read_write=True, quick=True,
+            rows_values=[1], systems=["voltdb"],
+        )
+        assert fig.x_values == ["1"]
+        b = fig.breakdown("VoltDB", "1")
+        assert b.total > 0
+
+    def test_tpc_sweep_structure(self):
+        fig = tpc_sweep(
+            "T", "t", IPC, benchmark="tpcb", quick=True, systems=["dbms-m"]
+        )
+        assert fig.x_values == ["TPC-B"]
+        assert 0 < fig.value("DBMS M", "TPC-B") < 4

@@ -1,0 +1,129 @@
+"""Hash-index tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.trace import AccessTrace, DLOAD_SERIAL
+from repro.storage.address_space import DataAddressSpace
+from repro.storage.hash_index import HashIndex, fibonacci_hash
+
+
+def make(expected=1000, lf=0.75) -> HashIndex:
+    return HashIndex("h", DataAddressSpace(), expected_keys=expected, load_factor=lf)
+
+
+class TestHashing:
+    def test_fibonacci_hash_in_range(self):
+        for k in range(1000):
+            assert 0 <= fibonacci_hash(k, 97) < 97
+
+    def test_spread(self):
+        buckets = {fibonacci_hash(k, 64) for k in range(1000)}
+        assert len(buckets) == 64
+
+
+class TestCorrectness:
+    def test_roundtrip(self):
+        h = make()
+        for k in range(2000):
+            h.insert(k, -k)
+        assert h.probe(1500) == -1500
+        assert h.probe(2001) is None
+        assert len(h) == 2000
+
+    def test_overwrite(self):
+        h = make()
+        h.insert("k", 1)
+        h.insert("k", 2)
+        assert h.probe("k") == 2
+        assert len(h) == 1
+
+    def test_delete_head_and_middle_of_chain(self):
+        h = HashIndex("h", DataAddressSpace(), expected_keys=4)  # force chains
+        for k in range(200):
+            h.insert(k, k)
+        for k in (0, 100, 199):
+            assert h.delete(k)
+            assert h.probe(k) is None
+        assert len(h) == 197
+        assert not h.delete(0)
+
+    def test_mixed_key_types(self):
+        h = make()
+        h.insert("alpha", 1)
+        h.insert(42, 2)
+        assert h.probe("alpha") == 1
+        assert h.probe(42) == 2
+
+    def test_range_scan_emulation(self):
+        h = make()
+        for k in range(100):
+            h.insert(k, k * 10)
+        assert h.range_scan(5, 3) == [(5, 50), (6, 60), (7, 70)]
+
+    def test_items(self):
+        h = make()
+        for k in range(50):
+            h.insert(k, k)
+        assert sorted(h.items()) == [(k, k) for k in range(50)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashIndex("h", DataAddressSpace(), expected_keys=0)
+        with pytest.raises(ValueError):
+            make(lf=9.0)
+
+
+class TestChainsAndEmission:
+    def test_probe_emits_bucket_then_chain(self):
+        h = make()
+        h.insert(1, 1)
+        t = AccessTrace()
+        h.probe(1, t)
+        assert len(t) >= 2  # bucket slot + entry
+        assert all(k == DLOAD_SERIAL for k in t.kinds)
+
+    def test_average_chain_short_at_design_load(self):
+        h = make(expected=10_000)
+        for k in range(10_000):
+            h.insert(k, k)
+        mean_chain = sum(h.chain_length(k) for k in range(0, 10_000, 97)) / len(
+            range(0, 10_000, 97)
+        )
+        assert mean_chain < 1.6
+
+    def test_fewer_lines_than_a_deep_tree(self):
+        """The hash-vs-B-tree gap of Figure 13."""
+        from repro.storage.btree import BPlusTree
+
+        h = make(expected=20_000)
+        tree = BPlusTree("b", DataAddressSpace(), page_bytes=8192)
+        for k in range(20_000):
+            h.insert(k, k)
+            tree.insert(k, k)
+        th, tt = AccessTrace(), AccessTrace()
+        h.probe(777, th)
+        tree.probe(777, tt)
+        assert len(th) < len(tt)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["put", "del"]), st.integers(min_value=0, max_value=500)),
+        max_size=300,
+    )
+)
+def test_hash_matches_dict(ops):
+    h = HashIndex("p", DataAddressSpace(), expected_keys=64)
+    reference: dict[int, int] = {}
+    for i, (op, k) in enumerate(ops):
+        if op == "put":
+            h.insert(k, i)
+            reference[k] = i
+        else:
+            assert h.delete(k) == (k in reference)
+            reference.pop(k, None)
+    assert len(h) == len(reference)
+    for k in reference:
+        assert h.probe(k) == reference[k]

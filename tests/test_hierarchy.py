@@ -1,0 +1,109 @@
+"""Memory hierarchy tests: levels, fills, coherence."""
+
+import pytest
+
+from repro.core.hierarchy import L1, L2, LLC, MEMORY, MemoryHierarchy
+from tests.conftest import TINY_SERVER
+
+
+@pytest.fixture
+def hier() -> MemoryHierarchy:
+    return MemoryHierarchy(TINY_SERVER, n_cores=1)
+
+
+@pytest.fixture
+def hier2() -> MemoryHierarchy:
+    return MemoryHierarchy(TINY_SERVER, n_cores=2)
+
+
+class TestInstructionPath:
+    def test_cold_access_goes_to_memory(self, hier):
+        assert hier.access_instr(0, 1000) == MEMORY
+
+    def test_second_access_hits_l1(self, hier):
+        hier.access_instr(0, 1000)
+        assert hier.access_instr(0, 1000) == L1
+
+    def test_l2_hit_after_l1_eviction(self, hier):
+        # TINY L1I: 2KB/64B = 32 lines, 2-way, 16 sets. Evict line 0
+        # from L1 by cycling its set; it should still be in L2.
+        hier.access_instr(0, 0)
+        for i in range(1, 4):
+            hier.access_instr(0, i * 16)  # same set as line 0
+        level = hier.access_instr(0, 0)
+        assert level == L2
+
+    def test_llc_hit_after_l2_eviction(self, hier):
+        # L2 is 8KB = 128 lines, 4-way, 32 sets; cycle set 0 heavily.
+        hier.access_instr(0, 0)
+        for i in range(1, 8):
+            hier.access_instr(0, i * 32)
+        assert hier.access_instr(0, 0) == LLC
+
+
+class TestDataPath:
+    def test_cold_then_warm(self, hier):
+        level, transfer = hier.access_data(0, 555, write=False)
+        assert level == MEMORY and not transfer
+        level, transfer = hier.access_data(0, 555, write=False)
+        assert level == L1 and not transfer
+
+    def test_write_allocates(self, hier):
+        hier.access_data(0, 77, write=True)
+        level, _ = hier.access_data(0, 77, write=False)
+        assert level == L1
+
+    def test_instruction_and_data_do_not_share_l1(self, hier):
+        hier.access_instr(0, 42)
+        level, _ = hier.access_data(0, 42, write=False)
+        # Line is in L2 (filled on the instruction path), not L1D.
+        assert level == L2
+
+
+class TestCoherence:
+    def test_single_core_skips_coherence(self, hier):
+        hier.access_data(0, 9, write=True)
+        assert hier.coherence_transfers == 0
+        assert not hier._modified_by
+
+    def test_store_invalidates_other_core(self, hier2):
+        hier2.access_data(0, 9, write=False)
+        level, _ = hier2.access_data(0, 9, write=False)
+        assert level == L1
+        hier2.access_data(1, 9, write=True)
+        # Core 0's private copy must be gone; the LLC still holds it.
+        level, _ = hier2.access_data(0, 9, write=False)
+        assert level in (LLC, MEMORY)
+
+    def test_reading_remote_modified_line_is_a_transfer(self, hier2):
+        hier2.access_data(0, 123, write=True)
+        level, transfer = hier2.access_data(1, 123, write=False)
+        assert transfer
+        assert hier2.coherence_transfers == 1
+        assert level in (LLC, MEMORY)
+
+    def test_own_modified_line_is_not_a_transfer(self, hier2):
+        hier2.access_data(0, 5, write=True)
+        level, transfer = hier2.access_data(0, 5, write=False)
+        assert level == L1 and not transfer
+
+    def test_n_cores_bounds(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(TINY_SERVER, n_cores=0)
+        with pytest.raises(ValueError):
+            MemoryHierarchy(TINY_SERVER, n_cores=TINY_SERVER.n_cores + 1)
+
+
+class TestMaintenance:
+    def test_flush(self, hier2):
+        hier2.access_data(0, 1, write=True)
+        hier2.access_instr(1, 2)
+        hier2.flush()
+        assert hier2.resident_lines() == 0
+        assert hier2.coherence_transfers == 0
+        assert hier2.access_instr(1, 2) == MEMORY
+
+    def test_resident_lines_counts_all_levels(self, hier):
+        hier.access_instr(0, 1)
+        # line in L1I + L2 + LLC
+        assert hier.resident_lines() == 3

@@ -1,0 +1,110 @@
+"""Lock-manager tests: the 2PL compatibility lattice and no-wait conflicts."""
+
+import pytest
+
+from repro.core.trace import AccessTrace
+from repro.storage.address_space import DataAddressSpace
+from repro.storage.lock_manager import LockConflict, LockManager, LockMode, compatible
+
+
+def make() -> LockManager:
+    return LockManager("lm", DataAddressSpace())
+
+
+class TestCompatibility:
+    @pytest.mark.parametrize(
+        "held,requested,ok",
+        [
+            (LockMode.S, LockMode.S, True),
+            (LockMode.S, LockMode.X, False),
+            (LockMode.X, LockMode.S, False),
+            (LockMode.X, LockMode.X, False),
+            (LockMode.IS, LockMode.IX, True),
+            (LockMode.IX, LockMode.IX, True),
+            (LockMode.IX, LockMode.S, False),
+            (LockMode.IS, LockMode.X, False),
+        ],
+    )
+    def test_matrix(self, held, requested, ok):
+        assert compatible(held, requested) is ok
+
+
+class TestAcquisition:
+    def test_shared_locks_coexist(self):
+        lm = make()
+        lm.acquire(1, "row", LockMode.S)
+        lm.acquire(2, "row", LockMode.S)
+        assert lm.active_locks == 2
+
+    def test_exclusive_conflicts(self):
+        lm = make()
+        lm.acquire(1, "row", LockMode.X)
+        with pytest.raises(LockConflict) as exc:
+            lm.acquire(2, "row", LockMode.X)
+        assert exc.value.holder == 1
+        assert exc.value.requester == 2
+        assert lm.conflicts == 1
+
+    def test_reader_blocks_writer(self):
+        lm = make()
+        lm.acquire(1, "row", LockMode.S)
+        with pytest.raises(LockConflict):
+            lm.acquire(2, "row", LockMode.X)
+
+    def test_own_upgrade_allowed(self):
+        lm = make()
+        lm.acquire(1, "row", LockMode.S)
+        lm.acquire(1, "row", LockMode.X)
+        assert lm.holds(1, "row") == LockMode.X
+
+    def test_reacquire_same_mode_idempotent(self):
+        lm = make()
+        lm.acquire(1, "row", LockMode.S)
+        lm.acquire(1, "row", LockMode.S)
+        assert lm.holds(1, "row") == LockMode.S
+
+    def test_intention_locks_on_table(self):
+        lm = make()
+        lm.acquire(1, ("table", "t"), LockMode.IX)
+        lm.acquire(2, ("table", "t"), LockMode.IS)
+        lm.acquire(2, ("table", "t"), LockMode.IX)
+        with pytest.raises(LockConflict):
+            lm.acquire(3, ("table", "t"), LockMode.X)
+
+
+class TestRelease:
+    def test_release_all_frees_resources(self):
+        lm = make()
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(1, "b", LockMode.S)
+        assert lm.release_all(1) == 2
+        assert lm.active_locks == 0
+        lm.acquire(2, "a", LockMode.X)  # no conflict now
+
+    def test_release_all_only_touches_own(self):
+        lm = make()
+        lm.acquire(1, "a", LockMode.S)
+        lm.acquire(2, "a", LockMode.S)
+        lm.release_all(1)
+        assert lm.holds(2, "a") == LockMode.S
+        assert lm.holds(1, "a") is None
+
+    def test_release_with_no_locks(self):
+        assert make().release_all(9) == 0
+
+
+class TestEmission:
+    def test_acquire_emits_lock_table_rmw(self):
+        lm = make()
+        t = AccessTrace()
+        lm.acquire(1, "r", LockMode.S, t, mod=2)
+        assert len(t) == 2  # load + store of the lock head
+        assert lm.acquisitions == 1
+
+    def test_same_resource_same_bucket_line(self):
+        lm = make()
+        t1, t2 = AccessTrace(), AccessTrace()
+        lm.acquire(1, "r", LockMode.S, t1)
+        lm.release_all(1)
+        lm.acquire(2, "r", LockMode.S, t2)
+        assert t1.addrs == t2.addrs

@@ -1,0 +1,92 @@
+"""Metric derivation tests (the figures' y-axes)."""
+
+import pytest
+
+from repro.core.counters import PerfCounters
+from repro.core.metrics import (
+    COMPONENT_LABELS,
+    STALL_COMPONENTS,
+    StallBreakdown,
+    instructions_per_transaction,
+    ipc,
+    memory_stall_fraction,
+    stall_breakdown,
+    stalls_per_kilo_instruction,
+    stalls_per_transaction,
+)
+
+
+def sample_counters() -> PerfCounters:
+    return PerfCounters(
+        instructions=10_000,
+        cycles=20_000,
+        transactions=10,
+        l1i_misses=100,
+        l2i_misses=10,
+        llci_misses=1,
+        l1d_misses=50,
+        l2d_misses=20,
+        llcd_misses=5,
+    )
+
+
+class TestBreakdown:
+    def test_paper_convention_misses_times_penalty(self):
+        b = stall_breakdown(sample_counters())
+        assert b.l1i == 100 * 8
+        assert b.l2i == 10 * 19
+        assert b.llci == 1 * 167
+        assert b.l1d == 50 * 8
+        assert b.l2d == 20 * 19
+        assert b.llcd == 5 * 167
+
+    def test_totals(self):
+        b = StallBreakdown(1, 2, 3, 4, 5, 6)
+        assert b.instruction_total == 6
+        assert b.data_total == 15
+        assert b.total == 21
+
+    def test_scaled_and_iter(self):
+        b = StallBreakdown(10, 20, 30, 40, 50, 60)
+        half = b.scaled(0.5)
+        assert list(half) == [5, 10, 15, 20, 25, 30]
+
+    def test_component_order_instruction_then_data(self):
+        assert STALL_COMPONENTS == ("l1i", "l2i", "llci", "l1d", "l2d", "llcd")
+        assert set(COMPONENT_LABELS) == set(STALL_COMPONENTS)
+
+    def test_as_dict(self):
+        b = StallBreakdown(1, 2, 3, 4, 5, 6)
+        assert b.as_dict() == {"l1i": 1, "l2i": 2, "llci": 3, "l1d": 4, "l2d": 5, "llcd": 6}
+
+
+class TestNormalisations:
+    def test_per_kilo_instruction(self):
+        b = stalls_per_kilo_instruction(sample_counters())
+        assert b.l1i == pytest.approx(100 * 8 * 1000 / 10_000)
+
+    def test_per_transaction(self):
+        b = stalls_per_transaction(sample_counters())
+        assert b.llcd == pytest.approx(5 * 167 / 10)
+
+    def test_zero_instructions_safe(self):
+        assert stalls_per_kilo_instruction(PerfCounters()).total == 0
+
+    def test_zero_transactions_safe(self):
+        assert stalls_per_transaction(PerfCounters()).total == 0
+
+    def test_ipc(self):
+        assert ipc(sample_counters()) == pytest.approx(0.5)
+        assert ipc(PerfCounters()) == 0.0
+
+    def test_instructions_per_transaction(self):
+        assert instructions_per_transaction(sample_counters()) == pytest.approx(1000)
+
+    def test_memory_stall_fraction_top_down(self):
+        # 1000 instr at ideal IPC 3 need ~333 cycles; 1000 elapsed
+        # cycles mean ~2/3 of the time was stalled.
+        c = PerfCounters(instructions=1000, cycles=1000)
+        assert memory_stall_fraction(c) == pytest.approx(2 / 3, rel=0.01)
+        assert memory_stall_fraction(PerfCounters()) == 0.0
+        ideal = PerfCounters(instructions=3000, cycles=1000)
+        assert memory_stall_fraction(ideal) == pytest.approx(0.0, abs=0.01)

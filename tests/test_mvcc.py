@@ -1,0 +1,106 @@
+"""MVCC version-store tests."""
+
+import pytest
+
+from repro.core.trace import AccessTrace
+from repro.storage.address_space import DataAddressSpace
+from repro.storage.mvcc import MVCCStore, ValidationFailure
+
+
+def make() -> MVCCStore:
+    return MVCCStore("vs", DataAddressSpace())
+
+
+class TestVisibility:
+    def test_read_your_snapshot(self):
+        vs = make()
+        t1 = vs.begin_timestamp()
+        vs.install("r", "v1", vs.begin_timestamp())
+        t2 = vs.begin_timestamp()
+        assert vs.read("r", t1) is None      # began before install
+        assert vs.read("r", t2) == "v1"
+
+    def test_chain_versions_visible_by_timestamp(self):
+        vs = make()
+        ts_a = vs.begin_timestamp()
+        vs.install("r", "a", ts_a)
+        reader_a = vs.begin_timestamp()
+        ts_b = vs.begin_timestamp()
+        vs.install("r", "b", ts_b)
+        reader_b = vs.begin_timestamp()
+        assert vs.read("r", reader_a) == "a"
+        assert vs.read("r", reader_b) == "b"
+
+    def test_default_for_unversioned(self):
+        vs = make()
+        assert vs.read("missing", 10, default="base") == "base"
+
+    def test_chain_length(self):
+        vs = make()
+        for i in range(4):
+            vs.install("r", i, vs.begin_timestamp())
+        assert vs.chain_length("r") == 4
+        assert vs.chain_length("other") == 0
+
+
+class TestValidation:
+    def test_clean_read_set_passes(self):
+        vs = make()
+        vs.install("r", 1, vs.begin_timestamp())
+        begin = vs.begin_timestamp()
+        seen = vs.latest_committed_ts("r")
+        vs.validate(1, begin, {"r": seen})  # no raise
+
+    def test_stale_read_fails_first_committer_wins(self):
+        vs = make()
+        vs.install("r", 1, vs.begin_timestamp())
+        begin = vs.begin_timestamp()
+        seen = vs.latest_committed_ts("r")
+        # A concurrent committer installs a newer version.
+        vs.install("r", 2, vs.begin_timestamp())
+        with pytest.raises(ValidationFailure):
+            vs.validate(1, begin, {"r": seen})
+        assert vs.aborts == 1
+
+    def test_unversioned_rows_validate_fine(self):
+        vs = make()
+        vs.validate(1, vs.begin_timestamp(), {"never-written": 0})
+
+
+class TestGarbageCollection:
+    def test_gc_drops_dead_versions(self):
+        vs = make()
+        for i in range(5):
+            vs.install("r", i, vs.begin_timestamp())
+        now = vs.begin_timestamp()
+        dropped = vs.garbage_collect(now)
+        assert dropped >= 1
+        assert vs.chain_length("r") < 5
+        assert vs.read("r", now) == 4  # newest survives
+
+    def test_gc_preserves_visible_versions(self):
+        vs = make()
+        vs.install("r", "old", vs.begin_timestamp())
+        old_reader = vs.begin_timestamp()
+        vs.install("r", "new", vs.begin_timestamp())
+        vs.garbage_collect(old_reader)
+        assert vs.read("r", old_reader) == "old"
+
+
+class TestEmission:
+    def test_chain_walk_emits_serial_loads(self):
+        vs = make()
+        for i in range(3):
+            vs.install("r", i, vs.begin_timestamp())
+        t = AccessTrace()
+        vs.read("r", 2, t, mod=1)  # old timestamp -> walks whole chain
+        assert len(t) == 3
+
+    def test_install_emits_stores(self):
+        vs = make()
+        t = AccessTrace()
+        vs.install("r", 1, vs.begin_timestamp(), t)
+        assert len(t) == 1
+        t2 = AccessTrace()
+        vs.install("r", 2, vs.begin_timestamp(), t2)
+        assert len(t2) == 2  # new version + retired head's end_ts

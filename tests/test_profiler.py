@@ -1,0 +1,85 @@
+"""Profiler window tests (the VTune-methodology stand-in)."""
+
+import pytest
+
+from repro.core.machine import Machine
+from repro.core.profiler import Profiler
+from repro.core.trace import AccessTrace
+from tests.conftest import TINY_SERVER
+
+
+def run_some(machine, n=3, mod=0, core=0):
+    for i in range(n):
+        t = AccessTrace()
+        t.ifetch_run(100 * (i + 1), 5, mod)
+        t.retire(mod, 80, base_cycles=40)
+        machine.run_trace(t, core_id=core)
+
+
+class TestWindows:
+    def test_window_excludes_warmup(self, tiny_machine):
+        prof = Profiler(tiny_machine)
+        run_some(tiny_machine, n=5)  # warm-up, outside the window
+        prof.start_window()
+        run_some(tiny_machine, n=2)
+        window = prof.end_window()
+        assert window.counters().transactions == 2
+        assert window.counters().instructions == 160
+
+    def test_window_module_cycles_are_window_only(self, tiny_machine):
+        prof = Profiler(tiny_machine)
+        run_some(tiny_machine, n=10, mod=1)
+        full_before = tiny_machine.module_cycles()[1]
+        prof.start_window()
+        run_some(tiny_machine, n=1, mod=1)
+        window = prof.end_window()
+        assert 0 < window.module_cycles[1] < full_before
+
+    def test_machine_stats_unchanged_by_windowing(self, tiny_machine):
+        prof = Profiler(tiny_machine)
+        prof.start_window()
+        run_some(tiny_machine, n=2, mod=3)
+        before = tiny_machine.snapshot_module_stats()
+        prof.end_window()
+        assert tiny_machine.snapshot_module_stats() == before
+
+    def test_double_start_rejected(self, tiny_machine):
+        prof = Profiler(tiny_machine)
+        prof.start_window()
+        with pytest.raises(RuntimeError):
+            prof.start_window()
+
+    def test_end_without_start_rejected(self, tiny_machine):
+        with pytest.raises(RuntimeError):
+            Profiler(tiny_machine).end_window()
+
+    def test_attached_flag(self, tiny_machine):
+        prof = Profiler(tiny_machine)
+        assert not prof.attached
+        prof.start_window()
+        assert prof.attached
+        prof.end_window()
+        assert not prof.attached
+
+
+class TestPerCoreFiltering:
+    def test_filter_to_one_worker(self):
+        m = Machine(TINY_SERVER, n_cores=2)
+        prof = Profiler(m)
+        prof.start_window()
+        run_some(m, n=2, core=0)
+        run_some(m, n=4, core=1)
+        window = prof.end_window()
+        assert window.counters([0]).transactions == 2
+        assert window.counters([1]).transactions == 4
+        assert window.counters().transactions == 6
+
+    def test_mean_core_counters(self):
+        m = Machine(TINY_SERVER, n_cores=2)
+        prof = Profiler(m)
+        prof.start_window()
+        run_some(m, n=2, core=0)
+        run_some(m, n=4, core=1)
+        window = prof.end_window()
+        mean = window.mean_core_counters()
+        assert mean.transactions == 3

@@ -1,0 +1,59 @@
+"""Schema and column-type tests."""
+
+import pytest
+
+from repro.storage.record import LONG, STRING50, Schema, microbench_schema, string_type
+
+
+class TestColumnTypes:
+    def test_long_width(self):
+        assert LONG.byte_size == 8
+
+    def test_string_width(self):
+        assert STRING50.byte_size == 50
+        assert string_type(20).byte_size == 20
+
+    def test_default_values_deterministic(self):
+        assert LONG.default_value(7) == LONG.default_value(7)
+        assert LONG.default_value(7) != LONG.default_value(8)
+
+    def test_string_default_has_exact_width(self):
+        v = STRING50.default_value(123)
+        assert isinstance(v, str)
+        assert len(v) == 50
+
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ValueError):
+            string_type(0)
+
+
+class TestSchema:
+    def test_row_bytes(self):
+        s = microbench_schema(LONG)
+        assert s.payload_bytes == 16
+        assert s.row_bytes == 24  # 8-byte header
+        assert s.n_columns == 2
+
+    def test_string_schema_bytes(self):
+        s = microbench_schema(STRING50)
+        assert s.payload_bytes == 100
+        assert s.row_bytes == 108
+
+    def test_column_index(self):
+        s = microbench_schema()
+        assert s.column_index("key") == 0
+        assert s.column_index("value") == 1
+        with pytest.raises(KeyError):
+            s.column_index("missing")
+
+    def test_default_rows_deterministic_and_distinct(self):
+        s = microbench_schema()
+        assert s.default_row(5) == s.default_row(5)
+        assert s.default_row(5) != s.default_row(6)
+        assert len(s.default_row(5)) == 2
+
+    def test_validate_row(self):
+        s = microbench_schema()
+        s.validate_row((1, 2))
+        with pytest.raises(ValueError):
+            s.validate_row((1, 2, 3))

@@ -1,0 +1,68 @@
+"""Server/cache specification tests (paper Table 1)."""
+
+import pytest
+
+from repro.core.spec import CACHE_LINE_BYTES, CacheSpec, IVY_BRIDGE, ServerSpec, table1_rows
+
+
+class TestCacheSpec:
+    def test_geometry(self):
+        l1 = IVY_BRIDGE.l1i
+        assert l1.size_bytes == 32 * 1024
+        assert l1.n_lines == 512
+        assert l1.n_sets == 64
+        assert l1.line_bytes == CACHE_LINE_BYTES
+
+    def test_llc_geometry(self):
+        llc = IVY_BRIDGE.llc
+        assert llc.size_bytes == 20 * 1024 * 1024
+        assert llc.n_lines == 327_680
+        assert llc.n_lines % llc.associativity == 0
+
+    def test_size_must_be_line_multiple(self):
+        with pytest.raises(ValueError):
+            CacheSpec("bad", 1000, 2, miss_penalty_cycles=8)
+
+    def test_lines_must_divide_into_sets(self):
+        with pytest.raises(ValueError):
+            CacheSpec("bad", 64 * 3, 2, miss_penalty_cycles=8)
+
+
+class TestIvyBridge:
+    def test_table1_penalties(self):
+        assert IVY_BRIDGE.l1i.miss_penalty_cycles == 8
+        assert IVY_BRIDGE.l1d.miss_penalty_cycles == 8
+        assert IVY_BRIDGE.l2.miss_penalty_cycles == 19
+        assert IVY_BRIDGE.llc.miss_penalty_cycles == 167
+
+    def test_topology(self):
+        assert IVY_BRIDGE.n_sockets == 2
+        assert IVY_BRIDGE.cores_per_socket == 8
+        assert IVY_BRIDGE.n_cores == 16
+
+    def test_retirement(self):
+        assert IVY_BRIDGE.retire_width == 4
+        assert IVY_BRIDGE.ideal_ipc == 3.0
+        assert IVY_BRIDGE.base_cpi == pytest.approx(1 / 3)
+
+    def test_memory_and_clock(self):
+        assert IVY_BRIDGE.memory_gb == 256
+        assert IVY_BRIDGE.clock_ghz == 2.0
+
+
+class TestTable1Rendering:
+    def test_row_count_and_keys(self):
+        rows = table1_rows()
+        keys = [k for k, _ in rows]
+        assert "Processor" in keys
+        assert "#HW Contexts" in keys
+        assert "LLC (shared)" in keys
+        assert len(rows) == 10
+
+    def test_values_match_spec(self):
+        rows = dict(table1_rows())
+        assert rows["#Sockets"] == "2"
+        assert rows["Clock Speed"] == "2.00GHz"
+        assert "20MB" in rows["LLC (shared)"]
+        assert "167-cycle" in rows["LLC (shared)"]
+        assert rows["Hyper-threading"] == "Off"

@@ -1,0 +1,78 @@
+"""AccessTrace tests."""
+
+from repro.core.trace import (
+    AccessTrace,
+    DLOAD,
+    DLOAD_SERIAL,
+    DSTORE,
+    IFETCH,
+)
+
+
+class TestAppending:
+    def test_ifetch(self, trace):
+        trace.ifetch(10, module=1)
+        assert trace.kinds == [IFETCH]
+        assert trace.addrs == [10]
+        assert trace.mods == [1]
+
+    def test_ifetch_run(self, trace):
+        trace.ifetch_run(100, 4, module=2)
+        assert trace.addrs == [100, 101, 102, 103]
+        assert all(k == IFETCH for k in trace.kinds)
+        assert len(trace) == 4
+
+    def test_load_serial_flag(self, trace):
+        trace.load(5, 0)
+        trace.load(6, 0, serial=True)
+        assert trace.kinds == [DLOAD, DLOAD_SERIAL]
+
+    def test_store_and_runs(self, trace):
+        trace.store(1, 0)
+        trace.load_run(10, 3, 0)
+        trace.store_run(20, 2, 0)
+        assert trace.kinds == [DSTORE, DLOAD, DLOAD, DLOAD, DSTORE, DSTORE]
+        assert trace.addrs == [1, 10, 11, 12, 20, 21]
+
+
+class TestRetirement:
+    def test_instructions_accumulate_per_module(self, trace):
+        trace.retire(0, 100)
+        trace.retire(1, 50)
+        trace.retire(0, 25)
+        assert trace.instr_by_module == {0: 125, 1: 50}
+        assert trace.instructions == 175
+
+    def test_branches_and_mispredicts(self, trace):
+        trace.retire(0, 100, branches=20, mispredicts=2)
+        trace.retire(0, 100, branches=10, mispredicts=1)
+        assert trace.branches == 30
+        assert trace.mispredicts == 3
+
+    def test_base_cycles_accumulate(self, trace):
+        trace.retire(0, 100, base_cycles=45.0)
+        trace.retire(1, 100, base_cycles=33.0)
+        assert trace.base_cycles == 78.0
+        assert trace.base_by_module == {0: 45.0, 1: 33.0}
+
+    def test_base_cycles_optional(self, trace):
+        trace.retire(0, 100)
+        assert trace.base_cycles == 0.0
+
+
+class TestLifecycle:
+    def test_clear_resets_everything(self, trace):
+        trace.ifetch(1, 0)
+        trace.load(2, 0)
+        trace.retire(0, 10, branches=1, mispredicts=1, base_cycles=5.0)
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.instructions == 0
+        assert trace.base_cycles == 0.0
+        assert trace.branches == 0
+        assert trace.mispredicts == 0
+
+    def test_events_iteration(self, trace):
+        trace.ifetch(1, 7)
+        trace.store(2, 8)
+        assert list(trace.events()) == [(IFETCH, 1, 7), (DSTORE, 2, 8)]

@@ -1,0 +1,102 @@
+"""Tests for the figure-validation machinery."""
+
+import pytest
+
+from repro.bench.results import FigureResult, IPC, STALLS_PER_KI
+from repro.bench.runner import RunResult
+from repro.bench.validate import (
+    Check,
+    _decreasing,
+    _increasing,
+    render_checks,
+    validate_figure,
+)
+from repro.core.counters import PerfCounters
+from repro.core.spec import IVY_BRIDGE
+
+
+def result(instr=10_000, cycles=20_000, txns=10, **misses) -> RunResult:
+    counters = PerfCounters(instructions=instr, cycles=cycles, transactions=txns, **misses)
+    return RunResult(
+        system="x", counters=counters, module_cycles={}, module_groups={},
+        server=IVY_BRIDGE, measured_txns=txns,
+    )
+
+
+SYSTEMS = ["Shore-MT", "DBMS D", "VoltDB", "HyPer", "DBMS M"]
+
+
+def ipc_figure(figure_id="Figure 1", values=None) -> FigureResult:
+    fig = FigureResult(
+        figure_id=figure_id, title="t", metric=IPC,
+        x_label="size", x_values=["1MB", "100GB"], systems=SYSTEMS,
+    )
+    values = values or {}
+    for s in SYSTEMS:
+        for x in fig.x_values:
+            ipc_value = values.get((s, x), 0.7)
+            fig.add(s, x, result(instr=int(1000 * ipc_value), cycles=1000))
+    return fig
+
+
+class TestHelpers:
+    def test_monotone_helpers(self):
+        assert _decreasing([3, 2, 1])
+        assert _decreasing([1.0, 1.01, 0.9])  # within slack
+        assert not _decreasing([1, 2])
+        assert _increasing([1, 2, 3])
+        assert not _increasing([3, 1])
+
+    def test_check_render(self):
+        assert "PASS" in Check("Figure 1", "x", True).render()
+        assert "FAIL" in Check("Figure 1", "x", False, "why").render()
+
+    def test_render_checks_summary(self):
+        text = render_checks([Check("f", "a", True), Check("f", "b", False)])
+        assert "1/2 checks passed" in text
+
+
+class TestFigureValidation:
+    def test_good_fig1_passes(self):
+        fig = ipc_figure(values={
+            ("HyPer", "1MB"): 2.4, ("HyPer", "100GB"): 0.4,
+            ("Shore-MT", "1MB"): 1.0, ("Shore-MT", "100GB"): 0.8,
+            ("VoltDB", "1MB"): 0.9, ("VoltDB", "100GB"): 0.7,
+            ("DBMS M", "1MB"): 0.7, ("DBMS M", "100GB"): 0.65,
+            ("DBMS D", "1MB"): 0.65, ("DBMS D", "100GB"): 0.6,
+        })
+        checks = validate_figure(fig)
+        assert checks and all(c.passed for c in checks)
+
+    def test_bad_fig1_detected(self):
+        # HyPer highest at 100GB: violates the collapse claim.
+        fig = ipc_figure(values={
+            ("HyPer", "1MB"): 2.4, ("HyPer", "100GB"): 1.1,
+        })
+        checks = validate_figure(fig)
+        assert any(not c.passed for c in checks)
+
+    def test_unregistered_figure_yields_no_checks(self):
+        fig = ipc_figure(figure_id="Figure 99")
+        assert validate_figure(fig) == []
+
+    def test_crashing_predicate_is_a_failure(self):
+        # A stalls validator on an IPC figure raises inside the predicate.
+        fig = ipc_figure(figure_id="Figure 3")
+        fig.x_values = ["100GB"]
+        checks = validate_figure(fig)
+        assert checks
+        assert all(not c.passed for c in checks)
+        assert any(c.details for c in checks)
+
+
+class TestEndToEnd:
+    def test_validate_one_real_figure(self):
+        from repro.bench.figures import run_figure
+
+        panels = run_figure("fig3", quick=True)
+        checks = []
+        for panel in panels:
+            checks.extend(validate_figure(panel))
+        assert checks
+        assert all(c.passed for c in checks), render_checks(checks)

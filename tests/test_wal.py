@@ -1,0 +1,65 @@
+"""Write-ahead-log tests."""
+
+from repro.core.trace import AccessTrace, DSTORE
+from repro.storage.address_space import DataAddressSpace
+from repro.storage.wal import WriteAheadLog
+
+
+def make(**kw) -> WriteAheadLog:
+    return WriteAheadLog("wal", DataAddressSpace(), **kw)
+
+
+class TestAppend:
+    def test_lsns_monotonic(self):
+        wal = make()
+        records = [wal.append(1, "update", 32) for _ in range(5)]
+        lsns = [r.lsn for r in records]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == 5
+
+    def test_append_emits_sequential_stores(self):
+        wal = make()
+        t = AccessTrace()
+        wal.append(1, "update", 200, t, mod=4)
+        assert all(k == DSTORE for k in t.kinds)
+        assert t.addrs == list(range(t.addrs[0], t.addrs[0] + len(t)))
+
+    def test_consecutive_appends_adjacent(self):
+        wal = make()
+        t1, t2 = AccessTrace(), AccessTrace()
+        wal.append(1, "update", 40, t1)
+        wal.append(1, "update", 40, t2)
+        assert t2.addrs[0] - t1.addrs[0] <= 2  # append locality
+
+    def test_buffer_wraps(self):
+        wal = make(buffer_bytes=1024)
+        for _ in range(100):
+            wal.append(1, "update", 100)
+        assert wal._head <= 1024
+
+
+class TestGroupCommit:
+    def test_flush_after_group_size_commits(self):
+        wal = make(group_commit_size=4)
+        for txn in range(4):
+            wal.append(txn, "commit", 16)
+        assert wal.flushes == 1
+        assert wal.unflushed_records == 0
+
+    def test_updates_do_not_trigger_flush(self):
+        wal = make(group_commit_size=2)
+        for _ in range(10):
+            wal.append(1, "update", 16)
+        assert wal.flushes == 0
+        assert wal.unflushed_records == 10
+
+    def test_force(self):
+        wal = make()
+        wal.append(1, "update", 16)
+        wal.force()
+        assert wal.unflushed_records == 0
+
+    def test_record_line_estimate(self):
+        wal = make()
+        assert wal.estimated_record_lines(0) == 1
+        assert wal.estimated_record_lines(200) == 4
