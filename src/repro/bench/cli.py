@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench fig1 [fig2 ...] [--quick]
     python -m repro.bench all --quick
     python -m repro.bench validate --quick   # audit every figure's shape
+    python -m repro.bench chaos --quick      # fault-injection suite
     repro-bench table1
 """
 
@@ -29,14 +30,49 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "figures",
         nargs="+",
-        help=f"figure ids ({', '.join(ALL_IDS)}), 'all', or 'validate'",
+        help=f"figure ids ({', '.join(ALL_IDS)}), 'all', 'validate', or 'chaos'",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="reduced budgets and a single repetition (tests / smoke runs)",
     )
+    parser.add_argument(
+        "--systems",
+        nargs="+",
+        default=None,
+        help="chaos: systems to run (default: all five)",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=None,
+        help="chaos: workloads to run (micro, tpcc; default: both)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="chaos: fault-schedule seed"
+    )
+    parser.add_argument(
+        "--txns", type=int, default=None, help="chaos: transactions per run"
+    )
+    parser.add_argument(
+        "--crashes", type=int, default=None, help="chaos: crashes per run"
+    )
     args = parser.parse_args(argv)
+
+    if args.figures == ["chaos"]:
+        from repro.faults.chaos import run_chaos_suite
+
+        text, ok = run_chaos_suite(
+            systems=args.systems,
+            workloads=args.workloads,
+            quick=args.quick,
+            seed=args.seed,
+            n_txns=args.txns,
+            n_crashes=args.crashes,
+        )
+        print(text)
+        return 0 if ok else 1
 
     if args.figures == ["validate"]:
         from repro.bench.validate import render_checks, validate_all

@@ -76,3 +76,73 @@ def render_summary_line(figure: FigureResult) -> str:
         values = figure.series(system)
         spans.append(f"{system}={min(values):.2f}..{max(values):.2f}")
     return f"{figure.figure_id} [{figure.metric}] " + "  ".join(spans)
+
+
+# -- engine statistics and chaos runs ----------------------------------------
+
+
+def render_engine_stats(stats) -> str:
+    """Per-procedure commit/abort/retry/backoff table for an
+    :class:`repro.engines.base.EngineStats`."""
+    procedures = sorted(
+        set(stats.commits_by_procedure)
+        | set(stats.aborts_by_procedure)
+        | set(stats.retries_by_procedure)
+    )
+    name_width = max([len(p) for p in procedures] + [len("procedure")])
+    head = (
+        f"{'procedure':<{name_width}}{'commits':>9}{'aborts':>8}"
+        f"{'retries':>9}{'backoff-cyc':>13}"
+    )
+    lines = [head, _rule(len(head))]
+    for procedure in procedures:
+        lines.append(
+            f"{procedure:<{name_width}}"
+            f"{stats.commits_by_procedure.get(procedure, 0):>9}"
+            f"{stats.aborts_by_procedure.get(procedure, 0):>8}"
+            f"{stats.retries_by_procedure.get(procedure, 0):>9}"
+            f"{stats.backoff_by_procedure.get(procedure, 0.0):>13.0f}"
+        )
+    lines.append(
+        f"{'total':<{name_width}}{stats.commits:>9}{stats.aborts:>8}"
+        f"{sum(stats.retries_by_procedure.values()):>9}{stats.backoff_cycles:>13.0f}"
+    )
+    if stats.aborts_by_reason:
+        reasons = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(stats.aborts_by_reason.items())
+        )
+        lines.append(f"abort reasons: {reasons}")
+    return "\n".join(lines)
+
+
+def render_chaos_result(result) -> str:
+    """Human-readable report for one :class:`repro.faults.ChaosResult`."""
+    header = (
+        f"chaos {result.system} x {result.workload}: "
+        f"{'PASS' if result.ok else 'FAIL'}"
+    )
+    lines = [header, _rule(len(header))]
+    stats = result.stats
+    lines.append(
+        f"attempted {result.attempted}  committed {stats.commits}  "
+        f"aborted {stats.aborts}  crashes {len(result.crashes)}"
+    )
+    for crash in result.crashes:
+        tail = " torn" if crash.torn_tail else ""
+        ckpt = (
+            f" from ckpt lsn {crash.checkpoint_lsn}"
+            if crash.checkpoint_lsn is not None
+            else ""
+        )
+        lines.append(
+            f"  crash @ {crash.point} (hit {crash.hit}, txn {crash.txn_index}): "
+            f"lost {crash.lost_records}{tail}, truncated {crash.truncated_records}, "
+            f"redo {crash.redo_applied}, undo {crash.undo_applied}{ckpt}"
+        )
+        for problem in crash.problems:
+            lines.append(f"    VIOLATION: {problem}")
+    for problem in result.final_problems:
+        lines.append(f"  FINAL VIOLATION: {problem}")
+    lines.append(render_engine_stats(stats))
+    return "\n".join(lines)

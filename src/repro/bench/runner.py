@@ -40,6 +40,7 @@ from repro.core.metrics import (
 )
 from repro.core.profiler import Profiler
 from repro.core.spec import IVY_BRIDGE, ServerSpec
+from repro.engines.base import COMMITTED
 from repro.engines.config import EngineConfig
 from repro.engines.registry import make_engine
 from repro.workloads.base import Workload
@@ -211,17 +212,32 @@ class ExperimentRunner:
         def run_phase(event_budget: int, min_txns: int) -> int:
             events = 0
             txns = 0
+            attempts = 0
             core = 0
+            attempt_cap = max(min_txns, 1) * 1000
             while events < event_budget or txns < min_txns:
                 partition = core if partitioned else None
                 procedure, body = workload.next_transaction(
                     rng, partition=partition, n_partitions=spec.n_cores
                 )
                 trace = engine.execute(procedure, body, core_id=core)
-                machine.run_trace(trace, core_id=core)
+                # Only commits count as transactions; aborted attempts'
+                # events still replay (the hardware saw that work) but
+                # must not dilute per-transaction metrics.
+                committed = engine.last_outcome == COMMITTED
+                machine.run_trace(
+                    trace, core_id=core, transactions=1 if committed else 0
+                )
                 events += len(trace)
-                txns += 1
+                attempts += 1
+                if committed:
+                    txns += 1
                 core = (core + 1) % spec.n_cores
+                if attempts >= attempt_cap and txns < min_txns:
+                    raise RuntimeError(
+                        f"{spec.system}: {attempts} attempts produced only "
+                        f"{txns}/{min_txns} commits — workload cannot make progress"
+                    )
             return txns
 
         run_phase(spec.warmup_events, MIN_WARMUP_TXNS)

@@ -66,11 +66,17 @@ class Machine:
 
     # -- replay ------------------------------------------------------------
 
-    def run_trace(self, trace: AccessTrace, core_id: int = 0) -> PerfCounters:
+    def run_trace(
+        self, trace: AccessTrace, core_id: int = 0, *, transactions: int = 1
+    ) -> PerfCounters:
         """Replay one transaction's trace on *core_id*.
 
         Returns the counter delta for just this transaction (cycles
         computed by the CPU model from the misses the replay produced).
+        *transactions* is how many completed transactions the trace
+        represents: 0 for an attempt that did not commit (its events
+        still hit the caches — wasted work is real work — but it must
+        not inflate per-transaction metrics).
         """
         hierarchy = self.hierarchy
         access_instr = hierarchy.access_instr
@@ -128,7 +134,7 @@ class Machine:
             instructions=trace.instructions,
             branches=trace.branches,
             mispredicts=trace.mispredicts,
-            transactions=1,
+            transactions=transactions,
             ifetches=n_if,
             loads=n_loads,
             stores=n_stores,

@@ -17,7 +17,7 @@ control, index structures and compilation (Sections 2.1, 3).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.codegen.layout import CodeLayout
 from repro.codegen.module import CodeModule
@@ -28,12 +28,26 @@ from repro.engines.config import EngineConfig
 from repro.storage.address_space import DataAddressSpace
 
 
+class AbortReason:
+    """Structured abort taxonomy (who killed the transaction)."""
+
+    LOCK_CONFLICT = "lock-conflict"
+    VALIDATION = "validation"
+    INJECTED = "injected-fault"
+    USER = "user-abort"
+    UNSPECIFIED = "unspecified"
+
+
 class TransactionAborted(Exception):
     """Raised inside a transaction body when the engine must abort.
 
     The engine's execute loop rolls back and retries; the aborted
     attempt's trace events remain (wasted work is real work).
     """
+
+    def __init__(self, message: str = "", reason: str = AbortReason.UNSPECIFIED) -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 class UserAbort(Exception):
@@ -43,12 +57,66 @@ class UserAbort(Exception):
     """
 
 
+# Transaction outcomes recorded by Engine.execute (Engine.last_outcome).
+COMMITTED = "committed"
+USER_ABORTED = "user-aborted"
+RETRIES_EXHAUSTED = "retries-exhausted"
+
+# Simulated exponential-backoff spin before retry k: BASE * 2**(k-1)
+# cycles, capped.  Accounted on EngineStats, not emitted into the trace:
+# the paper's methodology measures the work the core performs, and a
+# backoff spin retires no instructions worth modelling.
+BACKOFF_BASE_CYCLES = 500.0
+BACKOFF_CAP_CYCLES = BACKOFF_BASE_CYCLES * 64
+
+
 @dataclass
 class EngineStats:
     commits: int = 0
     aborts: int = 0
     retries_exhausted: int = 0
     operations: int = 0
+    user_aborts: int = 0
+    backoff_cycles: float = 0.0
+    commits_by_procedure: dict = field(default_factory=dict)
+    aborts_by_procedure: dict = field(default_factory=dict)
+    retries_by_procedure: dict = field(default_factory=dict)
+    backoff_by_procedure: dict = field(default_factory=dict)
+    aborts_by_reason: dict = field(default_factory=dict)
+
+    def record_commit(self, procedure: str) -> None:
+        self.commits += 1
+        self.commits_by_procedure[procedure] = self.commits_by_procedure.get(procedure, 0) + 1
+
+    def record_abort(self, procedure: str, reason: str) -> None:
+        self.aborts += 1
+        self.aborts_by_procedure[procedure] = self.aborts_by_procedure.get(procedure, 0) + 1
+        self.aborts_by_reason[reason] = self.aborts_by_reason.get(reason, 0) + 1
+
+    def record_retry(self, procedure: str, backoff_cycles: float) -> None:
+        self.retries_by_procedure[procedure] = self.retries_by_procedure.get(procedure, 0) + 1
+        self.backoff_cycles += backoff_cycles
+        self.backoff_by_procedure[procedure] = (
+            self.backoff_by_procedure.get(procedure, 0.0) + backoff_cycles
+        )
+
+    def merge(self, other: "EngineStats") -> None:
+        """Accumulate *other* into self (chaos runs sum across restarts)."""
+        self.commits += other.commits
+        self.aborts += other.aborts
+        self.retries_exhausted += other.retries_exhausted
+        self.operations += other.operations
+        self.user_aborts += other.user_aborts
+        self.backoff_cycles += other.backoff_cycles
+        for mine, theirs in (
+            (self.commits_by_procedure, other.commits_by_procedure),
+            (self.aborts_by_procedure, other.aborts_by_procedure),
+            (self.retries_by_procedure, other.retries_by_procedure),
+            (self.backoff_by_procedure, other.backoff_by_procedure),
+            (self.aborts_by_reason, other.aborts_by_reason),
+        ):
+            for key, value in theirs.items():
+                mine[key] = mine.get(key, 0) + value
 
 
 class Transaction(ABC):
@@ -117,6 +185,10 @@ class Engine(ABC):
         self.mods: dict[str, int] = {}
         self.tables: dict[str, EngineTable | PartitionedTable] = {}
         self.stats = EngineStats()
+        # Fault-injection plumbing (repro.faults): the attached injector
+        # and the outcome of the last execute() call.
+        self.injector = None
+        self.last_outcome: str | None = None
         self._cmp_instr_cache: dict[str, int] = {}
         self._trace = AccessTrace()
         self._next_txn_id = 1
@@ -182,6 +254,8 @@ class Engine(ABC):
             )
         else:
             self.tables[spec.name] = EngineTable(spec, self.space, **kwargs)
+        if self.injector is not None:
+            self.tables[spec.name].injector = self.injector
 
     def create_tables(self, specs: list[TableSpec]) -> None:
         for spec in specs:
@@ -230,36 +304,80 @@ class Engine(ABC):
         """Run one transaction; returns its access trace.
 
         Aborts (lock conflicts, validation failures) are retried up to
-        the configured budget; the aborted attempts' events stay in the
-        trace because the wasted work is part of what the hardware sees.
+        the configured budget with exponential backoff accounting; the
+        aborted attempts' events stay in the trace because the wasted
+        work is part of what the hardware sees.  The outcome —
+        COMMITTED, USER_ABORTED or RETRIES_EXHAUSTED — is recorded on
+        :attr:`last_outcome` so callers can tell a commit from a
+        transaction that merely ran out of retries.
         """
         trace = self._trace
         trace.clear()
         attempts = 0
+        stats = self.stats
         while True:
             txn = self.begin(trace, procedure)
             try:
+                if self.injector is not None:
+                    self.injector.fire("txn.body", procedure=procedure, txn_id=txn.txn_id)
                 body(txn)
                 txn.commit()  # may abort (OCC validation failure)
-            except TransactionAborted:
-                txn.abort()
-                self.stats.aborts += 1
+            except TransactionAborted as exc:
+                if not txn.done:
+                    txn.abort()
+                stats.record_abort(procedure, getattr(exc, "reason", AbortReason.UNSPECIFIED))
                 attempts += 1
                 if attempts > self.config.max_retries:
-                    self.stats.retries_exhausted += 1
+                    stats.retries_exhausted += 1
+                    self.last_outcome = RETRIES_EXHAUSTED
                     return trace
+                backoff = min(BACKOFF_BASE_CYCLES * 2 ** (attempts - 1), BACKOFF_CAP_CYCLES)
+                stats.record_retry(procedure, backoff)
                 continue
             except UserAbort:
                 txn.abort()
-                self.stats.aborts += 1
+                stats.record_abort(procedure, AbortReason.USER)
+                stats.user_aborts += 1
+                self.last_outcome = USER_ABORTED
                 return trace
-            self.stats.commits += 1
+            stats.record_commit(procedure)
+            self.last_outcome = COMMITTED
             return trace
 
     def _new_txn_id(self) -> int:
         txn_id = self._next_txn_id
         self._next_txn_id += 1
         return txn_id
+
+    # -- fault / recovery surface -------------------------------------------------------
+
+    def recovery_log(self):
+        """The durability log recovery replays, or None if the engine
+        keeps no value-logged durable history."""
+        return None
+
+    def fault_logs(self) -> list:
+        """Logs that participate in fault injection (WAL points)."""
+        log = self.recovery_log()
+        return [log] if log is not None else []
+
+    def attach_injector(self, injector) -> None:
+        """Thread a :class:`repro.faults.FaultInjector` through this
+        engine's fault surfaces: logs, lock manager, and table indexes.
+        Pass ``None`` to detach."""
+        self.injector = injector
+        for log in self.fault_logs():
+            log.injector = injector
+        locks = getattr(self, "locks", None)
+        if locks is not None:
+            locks.injector = injector
+        for table in self.tables.values():
+            table.injector = injector
+
+    def committed_row(self, table: str, row_id: int) -> tuple:
+        """The engine's committed view of a row (heap by default; MVCC
+        engines override to consult their version store)."""
+        return self.table(table).heap.read(row_id)
 
     # -- prewarm support ----------------------------------------------------------------
 

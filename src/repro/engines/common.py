@@ -52,6 +52,9 @@ class TableSpec:
 class EngineTable:
     """One engine's storage for a table: heap + primary index."""
 
+    # Optional FaultInjector threaded in by Engine.attach_injector.
+    injector = None
+
     def __init__(
         self,
         spec: TableSpec,
@@ -89,9 +92,19 @@ class EngineTable:
         return self.index.probe(key, trace, mod)
 
     def insert_row(self, values: tuple, key: int | None, trace: AccessTrace | None, mod: int) -> int:
+        if self.injector is not None:
+            self.injector.fire("index.insert", table=self.spec.name, key=key)
         row_id = self.heap.append(values, trace, mod)
         self.index.insert(key if key is not None else row_id, row_id, trace, mod)
         return row_id
+
+    def insert_key(self, key: int, row_id: int, trace: AccessTrace | None = None, mod: int = 0) -> None:
+        """(Re-)point *key* at *row_id* in the index (recovery restore)."""
+        self.index.insert(key, row_id, trace, mod)
+
+    def delete_key(self, key: int, trace: AccessTrace | None = None, mod: int = 0) -> bool:
+        """Remove *key* from the index (recovery restore)."""
+        return self.index.delete(key, trace, mod)
 
     def hot_regions(self) -> list[tuple[int, int]]:
         """(base_line, n_lines) ranges, hottest first, for cache prewarm."""
@@ -109,6 +122,9 @@ class PartitionedTable:
     engines.  Composite TPC-C keys encode the warehouse in their high
     component, so range partitioning doubles as partition-by-warehouse.
     """
+
+    # Optional FaultInjector threaded in by Engine.attach_injector.
+    injector = None
 
     def __init__(
         self,
@@ -159,11 +175,23 @@ class PartitionedTable:
         return self._indexes[p].probe(key - self._bases[p], trace, mod)
 
     def insert_row(self, values: tuple, key: int | None, trace: AccessTrace | None, mod: int) -> int:
+        if self.injector is not None:
+            self.injector.fire("index.insert", table=self.spec.name, key=key)
         row_id = self.heap.append(values, trace, mod)
         key = key if key is not None else row_id
         p = self.partition_of(key)
         self._indexes[p].insert(key - self._bases[p], row_id, trace, mod)
         return row_id
+
+    def insert_key(self, key: int, row_id: int, trace: AccessTrace | None = None, mod: int = 0) -> None:
+        """(Re-)point *key* at *row_id* in its partition's index."""
+        p = self.partition_of(key)
+        self._indexes[p].insert(key - self._bases[p], row_id, trace, mod)
+
+    def delete_key(self, key: int, trace: AccessTrace | None = None, mod: int = 0) -> bool:
+        """Remove *key* from its partition's index (recovery restore)."""
+        p = self.partition_of(key)
+        return self._indexes[p].delete(key - self._bases[p], trace, mod)
 
     def hot_regions(self) -> list[tuple[int, int]]:
         regions: list[tuple[int, int]] = []

@@ -27,7 +27,14 @@ from repro.engines.shore_mt import ShoreMT
 
 
 class DBMSD(ShoreMT):
-    """Full-stack commercial disk-based DBMS model."""
+    """Full-stack commercial disk-based DBMS model.
+
+    The fault surface is inherited from Shore-MT unchanged: the same
+    ARIES WAL is the recovery log, lock acquisition and WAL appends are
+    injection points, and rollback writes CLRs — so the chaos harness
+    (repro.faults) exercises DBMS D through the identical storage-layer
+    hooks while the SQL stack above differs.
+    """
 
     system = "DBMS D"
     # Decades-old commercial B-trees use key-prefix truncation /

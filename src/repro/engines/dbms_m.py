@@ -20,10 +20,12 @@ The paper's characterisation (Sections 3, 4.1.3, 4.2.2, 6):
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 from repro.codegen.compiler import DBMS_M_COMPILER, TransactionCompiler
 from repro.codegen.module import CodeModule, ENGINE, OTHER
 from repro.core.trace import AccessTrace
-from repro.engines.base import Engine, Transaction, TransactionAborted
+from repro.engines.base import AbortReason, Engine, Transaction, TransactionAborted
 from repro.engines.config import EngineConfig
 from repro.storage.index_factory import HASH
 from repro.storage.mvcc import MVCCStore, ValidationFailure
@@ -205,23 +207,39 @@ class DBMSMTransaction(Transaction):
             )
         except ValidationFailure as exc:
             self.done = False
-            raise TransactionAborted(str(exc)) from exc
+            raise TransactionAborted(str(exc), reason=AbortReason.VALIDATION) from exc
         commit_ts = eng.versions.begin_timestamp()
-        for (table, key), new_row in self.write_set.items():
-            eng.versions.install((table, key), new_row, commit_ts, self.trace, eng.mods["mvcc_code"])
-            eng.wal.append(
-                self.txn_id, "update", eng.table(table).heap.schema.row_bytes,
-                self.trace, eng.mods["log"],
-            )
-        mod = self._data_mod()
-        for table, values, key in self._inserts:
-            eng.table(table).insert_row(values, key, self.trace, mod)
-            eng.wal.append(self.txn_id, "insert", 24, self.trace, eng.mods["log"])
-        for table, key in self._deletes:
-            eng.table(table).index.delete(key, self.trace, mod)
-            eng.wal.append(self.txn_id, "delete", 24, self.trace, eng.mods["log"])
-        eng._w(self.trace, "log", 0.25)
-        eng.wal.append(self.txn_id, "commit", 16, self.trace, eng.mods["log"])
+        injector = eng.injector
+        # Commit is past the point of no return: injected *aborts* make
+        # no sense here (crash faults still fire).
+        guard = injector.suspend_aborts() if injector is not None else nullcontext()
+        with guard:
+            for (table, key), new_row in self.write_set.items():
+                eng.versions.install(
+                    (table, key), new_row, commit_ts, self.trace, eng.mods["mvcc_code"]
+                )
+                row_id = eng.table(table).probe(key, None, 0)
+                eng.wal.append(
+                    self.txn_id, "update", eng.table(table).heap.schema.row_bytes,
+                    self.trace, eng.mods["log"],
+                    payload=(table, row_id, new_row),
+                )
+                eng._row_images[(table, row_id)] = tuple(new_row)
+            mod = self._data_mod()
+            for table, values, key in self._inserts:
+                row_id = eng.table(table).insert_row(values, key, self.trace, mod)
+                eng.wal.append(
+                    self.txn_id, "insert", 24, self.trace, eng.mods["log"],
+                    payload=(table, key if key is not None else row_id, row_id, tuple(values)),
+                )
+            for table, key in self._deletes:
+                eng.table(table).index.delete(key, self.trace, mod)
+                eng.wal.append(
+                    self.txn_id, "delete", 24, self.trace, eng.mods["log"],
+                    payload=(table, key),
+                )
+            eng._w(self.trace, "log", 0.25)
+            eng.wal.append(self.txn_id, "commit", 16, self.trace, eng.mods["log"])
         eng._w(self.trace, "session", 0.15)
         eng._w(self.trace, "comm", 0.20)
         eng._maybe_gc()
@@ -251,6 +269,9 @@ class DBMSM(Engine):
         self._compiler = TransactionCompiler(DBMS_M_COMPILER)
         self._compiled_mods: dict[str, int] = {}
         self._commits_since_gc = 0
+        # Committed after-images by (table, row_id): updates live in the
+        # version store, not the heap, so the committed view needs a map.
+        self._row_images: dict[tuple[str, int], tuple] = {}
 
     @property
     def compiled(self) -> bool:
@@ -293,6 +314,13 @@ class DBMSM(Engine):
         if trace is None:
             trace = AccessTrace()
         return DBMSMTransaction(self, trace, self._new_txn_id(), procedure)
+
+    def recovery_log(self) -> WriteAheadLog:
+        return self.wal
+
+    def committed_row(self, table: str, row_id: int) -> tuple:
+        image = self._row_images.get((table, row_id))
+        return image if image is not None else self.table(table).heap.read(row_id)
 
     def _maybe_gc(self) -> None:
         self._commits_since_gc += 1

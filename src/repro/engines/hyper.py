@@ -81,10 +81,12 @@ class HyPerTransaction(Transaction):
         new_row = eng.table(table).heap.update_column(
             row_id, column, value, self.trace, self._compiled
         )
-        # Redo logging is compiled straight into the transaction code.
+        # Redo logging is compiled straight into the transaction code;
+        # the after-image payload makes the log replayable.
         eng.redo_log.append(
-            self.txn_id, "redo", eng.table(table).heap.schema.row_bytes,
+            self.txn_id, "update", eng.table(table).heap.schema.row_bytes,
             self.trace, self._compiled,
+            payload=(table, row_id, new_row),
         )
         return new_row
 
@@ -94,7 +96,10 @@ class HyPerTransaction(Transaction):
         self._loop_body()
         row_id = eng.table(table).insert_row(values, key, self.trace, self._compiled)
         self._shadow.append(("insert", table, key if key is not None else row_id))
-        eng.redo_log.append(self.txn_id, "redo-insert", 24, self.trace, self._compiled)
+        eng.redo_log.append(
+            self.txn_id, "insert", 24, self.trace, self._compiled,
+            payload=(table, key if key is not None else row_id, row_id, tuple(values)),
+        )
         return row_id
 
     def scan(self, table: str, key: int, n: int) -> list:
@@ -122,6 +127,7 @@ class HyPerTransaction(Transaction):
         eng.stats.operations += 1
         self._loop_body()
         tbl = eng.table(table)
+        orig_key = key
         index = getattr(tbl, "index", None)
         if index is None:
             p = tbl.partition_of(key)
@@ -130,7 +136,10 @@ class HyPerTransaction(Transaction):
         present = index.delete(key, self.trace, self._compiled)
         if present:
             self._shadow.append(("delete", index, key, row_id))
-            eng.redo_log.append(self.txn_id, "redo-delete", 24, self.trace, self._compiled)
+            eng.redo_log.append(
+                self.txn_id, "delete", 24, self.trace, self._compiled,
+                payload=(table, orig_key),
+            )
         return present
 
     def commit(self) -> None:
@@ -145,6 +154,9 @@ class HyPerTransaction(Transaction):
         self._finish()
         eng = self.engine
         eng._w(self.trace, "runtime", 0.25)
+        # Abort marker so recovery can classify this transaction without
+        # waiting for end-of-log (bookkeeping only: trace=None).
+        eng.redo_log.append(self.txn_id, "abort", 0)
         # Restore the shadow copies in reverse order.
         for entry in reversed(self._shadow):
             kind = entry[0]
@@ -205,6 +217,9 @@ class HyPerEngine(Engine):
     def partition_of(self, table: str, key: int) -> int:
         tbl = self.table(table)
         return tbl.partition_of(key) if hasattr(tbl, "partition_of") else 0
+
+    def recovery_log(self) -> WriteAheadLog:
+        return self.redo_log
 
     def _aux_cold_regions(self) -> list[tuple[int, int]]:
         return [(self.redo_log._region.base_line, self.redo_log._region.n_lines)]

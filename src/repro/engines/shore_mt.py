@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.codegen.module import ENGINE, OTHER
 from repro.core.trace import AccessTrace
-from repro.engines.base import Engine, Transaction, TransactionAborted
+from repro.engines.base import AbortReason, Engine, Transaction, TransactionAborted
 from repro.engines.config import EngineConfig
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.index_factory import BTREE
@@ -48,7 +48,7 @@ class ShoreMTTransaction(Transaction):
         try:
             eng.locks.acquire(self.txn_id, resource, mode, self.trace, eng.mods["lock_mgr"])
         except LockConflict as exc:
-            raise TransactionAborted(str(exc)) from exc
+            raise TransactionAborted(str(exc), reason=AbortReason.LOCK_CONFLICT) from exc
 
     def _intent_lock(self, table: str, write: bool) -> None:
         if table not in self._tables_locked:
@@ -296,6 +296,9 @@ class ShoreMT(Engine):
         if trace is None:
             trace = AccessTrace()
         return ShoreMTTransaction(self, trace, self._new_txn_id(), procedure)
+
+    def recovery_log(self) -> WriteAheadLog:
+        return self.wal
 
     def _aux_hot_regions(self) -> list[tuple[int, int]]:
         return [

@@ -92,9 +92,14 @@ class VoltDBTransaction(Transaction):
         eng.undo_log.append(self.txn_id, "undo", eng.table(table).heap.schema.row_bytes,
                             self.trace, eng.mods["undo"])
         eng._w(self.trace, "table_code", 0.26)
-        return eng.table(table).heap.update_column(
+        new_row = eng.table(table).heap.update_column(
             row_id, column, value, self.trace, eng.mods["table_code"]
         )
+        # Command logging replays the invocation; for recovery we also
+        # record the after-image (bookkeeping only: trace=None, zero
+        # bytes — the invoke record above carries the logging traffic).
+        eng.command_log.append(self.txn_id, "update", 0, payload=(table, row_id, new_row))
+        return new_row
 
     def insert(self, table: str, values: tuple, key: int | None = None) -> int:
         eng = self.engine
@@ -106,6 +111,10 @@ class VoltDBTransaction(Transaction):
         eng._w(self.trace, "undo", 0.30)
         self._undo_entries.append(("insert", table, key if key is not None else row_id))
         eng.undo_log.append(self.txn_id, "undo-insert", 24, self.trace, eng.mods["undo"])
+        eng.command_log.append(
+            self.txn_id, "insert", 0,
+            payload=(table, key if key is not None else row_id, row_id, tuple(values)),
+        )
         return row_id
 
     def scan(self, table: str, key: int, n: int) -> list:
@@ -137,6 +146,7 @@ class VoltDBTransaction(Transaction):
         self._enter_ee(table)
         eng._w(self.trace, "index_code", 0.30)
         tbl = eng.table(table)
+        orig_key = key
         index = getattr(tbl, "index", None)
         if index is None:
             p = tbl.partition_of(key)
@@ -147,6 +157,7 @@ class VoltDBTransaction(Transaction):
             eng._w(self.trace, "undo", 0.30)
             self._undo_entries.append(("delete", index, key, row_id))
             eng.undo_log.append(self.txn_id, "undo-delete", 24, self.trace, eng.mods["undo"])
+            eng.command_log.append(self.txn_id, "delete", 0, payload=(table, orig_key))
         return present
 
     def commit(self) -> None:
@@ -163,6 +174,8 @@ class VoltDBTransaction(Transaction):
     def abort(self) -> None:
         self._finish()
         eng = self.engine
+        # Abort marker for recovery classification (bookkeeping only).
+        eng.command_log.append(self.txn_id, "abort", 0)
         eng._w(self.trace, "undo", 0.50)  # roll the undo log back
         mod = eng.mods["undo"]
         for entry in reversed(self._undo_entries):
@@ -225,6 +238,12 @@ class VoltDBEngine(Engine):
     def partition_of(self, table: str, key: int) -> int:
         tbl = self.table(table)
         return tbl.partition_of(key) if hasattr(tbl, "partition_of") else 0
+
+    def recovery_log(self) -> WriteAheadLog:
+        return self.command_log
+
+    def fault_logs(self) -> list[WriteAheadLog]:
+        return [self.command_log, self.undo_log]
 
     def _aux_hot_regions(self) -> list[tuple[int, int]]:
         return [(self.undo_log._region.base_line, self.undo_log._region.n_lines)]

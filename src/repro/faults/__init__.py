@@ -1,0 +1,61 @@
+"""Fault injection and crash-consistency checking.
+
+Public surface:
+
+* :class:`FaultInjector` / :class:`FaultSpec` — deterministic seeded
+  fault schedules over named injection points;
+* :class:`SimulatedCrash` / :class:`InjectedAbort` — what fires;
+* :class:`ChaosRunner` / :class:`ChaosSpec` — run any engine × workload
+  under a fault schedule, recover after every crash, verify invariants;
+* :func:`tpcc_invariants` — TPC-C consistency conditions.
+"""
+
+from repro.faults.chaos import (
+    ChaosResult,
+    ChaosRunner,
+    ChaosSpec,
+    CrashReport,
+    default_workload_factories,
+    run_chaos_suite,
+)
+from repro.faults.injector import (
+    ABORT,
+    CRASH,
+    FaultInjector,
+    FaultSpec,
+    FiredFault,
+    INDEX_INSERT,
+    INJECTION_POINTS,
+    InjectedAbort,
+    LOCK_ACQUIRE,
+    SimulatedCrash,
+    TXN_BODY,
+    WAL_AFTER_APPEND,
+    WAL_BEFORE_APPEND,
+    WAL_GROUP_COMMIT,
+)
+from repro.faults.invariants import tpcc_invariants
+
+__all__ = [
+    "ABORT",
+    "CRASH",
+    "ChaosResult",
+    "ChaosRunner",
+    "ChaosSpec",
+    "CrashReport",
+    "FaultInjector",
+    "FaultSpec",
+    "FiredFault",
+    "INDEX_INSERT",
+    "INJECTION_POINTS",
+    "InjectedAbort",
+    "LOCK_ACQUIRE",
+    "SimulatedCrash",
+    "TXN_BODY",
+    "WAL_AFTER_APPEND",
+    "WAL_BEFORE_APPEND",
+    "WAL_GROUP_COMMIT",
+    "default_workload_factories",
+    "run_chaos_suite",
+    "tpcc_invariants",
+]

@@ -1,0 +1,346 @@
+"""Chaos harness: run a workload under a fault schedule and prove recovery.
+
+:class:`ChaosRunner` is the fault-injection sibling of
+:class:`repro.bench.runner.ExperimentRunner`: instead of measuring, it
+drives any engine × workload while a :class:`FaultInjector` crashes the
+simulated process at scheduled injection points.  After every crash it
+
+1. takes the WAL's :meth:`crash_image` (durable prefix + partially lost,
+   possibly torn tail),
+2. replays it (:func:`repro.storage.recovery.replay` — torn-prefix
+   truncation, checkpoint seeding, filtered redo, CLR undo),
+3. restores the recovered state onto a freshly set-up engine,
+4. checks the restore round-trips (:func:`verify_against_engine`) and,
+   for TPC-C, the clause-3.3.2-style consistency conditions
+   (:func:`repro.faults.invariants.tpcc_invariants`) — the atomicity
+   proof: no partial transaction effects survive a crash,
+5. seeds the new engine's log with a checkpoint of the recovered state
+   so the *next* crash can recover the cumulative history.
+
+Under the paper's asynchronous group-commit setup a transaction whose
+commit record had not flushed may be lost wholesale — that is permitted;
+what must never happen is a *partial* transaction surviving.
+
+Everything is deterministic given the spec's seed: the fault schedule,
+the crash images' surviving-tail choices and the workload stream all
+derive from it, so a chaos run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.engines.base import COMMITTED, EngineStats
+from repro.engines.config import EngineConfig
+from repro.engines.registry import ALL_SYSTEMS, canonical_name, make_engine
+from repro.faults.injector import (
+    ABORT,
+    FaultInjector,
+    FaultSpec,
+    LOCK_ACQUIRE,
+    SimulatedCrash,
+    TXN_BODY,
+    WAL_AFTER_APPEND,
+    WAL_BEFORE_APPEND,
+    WAL_GROUP_COMMIT,
+)
+from repro.faults.invariants import tpcc_invariants
+from repro.storage.recovery import (
+    replay,
+    restore_engine,
+    take_checkpoint,
+    verify_against_engine,
+    write_checkpoint,
+)
+from repro.workloads.microbench import MicroBenchmark
+from repro.workloads.tpcc import TPCC
+
+# How early in a segment each point's scheduled crash lands (at_hit is
+# drawn uniformly from the range).  Group commits are rare (one per
+# batch) and txn bodies one per attempt; raw WAL/lock/index hits arrive
+# many per transaction, so a wider range still crashes within a few
+# transactions.
+_AT_HIT_RANGES = {
+    WAL_GROUP_COMMIT: (1, 2),
+    TXN_BODY: (1, 5),
+}
+_DEFAULT_AT_HIT_RANGE = (1, 15)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One chaos run: a system, a fault budget, and a seed."""
+
+    system: str
+    n_txns: int = 240
+    # Crashes to schedule; None = one per injection point in the pool.
+    n_crashes: int | None = None
+    # Take a fuzzy checkpoint (and truncate the log) every N commits;
+    # 0 disables.
+    checkpoint_every: int = 40
+    # Small batches so group commit (and its crash window) is exercised
+    # even in short runs.
+    group_commit_size: int = 4
+    # Per-hit probability of an injected transaction abort (txn.body).
+    abort_probability: float = 0.0
+    # Injection points to crash at; None = every point the engine has.
+    points: tuple[str, ...] | None = None
+    seed: int = 1
+    engine_config: EngineConfig | None = None
+
+    @classmethod
+    def quick(cls, system: str, **overrides) -> "ChaosSpec":
+        """The CI-sized variant (repro-bench chaos --quick)."""
+        settings = dict(n_txns=80, n_crashes=2, checkpoint_every=20)
+        settings.update(overrides)
+        return cls(system=system, **settings)
+
+    def resolved_config(self) -> EngineConfig:
+        return self.engine_config or EngineConfig(materialize_threshold=0)
+
+
+@dataclass
+class CrashReport:
+    """What one injected crash did and how recovery fared."""
+
+    txn_index: int  # 1-based index of the transaction that died
+    point: str
+    hit: int
+    lost_records: int
+    torn_tail: bool
+    truncated_records: int
+    redo_applied: int
+    undo_applied: int
+    checkpoint_lsn: int | None
+    state_digest: int
+    problems: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one chaos run."""
+
+    system: str
+    workload: str
+    attempted: int
+    stats: EngineStats
+    crashes: list[CrashReport] = field(default_factory=list)
+    final_problems: list[str] = field(default_factory=list)
+    final_digest: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.final_problems and all(not c.problems for c in self.crashes)
+
+    def digest(self) -> int:
+        """Checksum of every recovered state (determinism checks)."""
+        content = (self.final_digest, [c.state_digest for c in self.crashes])
+        return zlib.crc32(repr(content).encode())
+
+
+class ChaosRunner:
+    """Run a workload under a crash schedule; recover and verify."""
+
+    def __init__(self, spec: ChaosSpec, workload) -> None:
+        self.spec = spec
+        self.workload = workload
+
+    # -- engine lifecycle ----------------------------------------------------
+
+    def _fresh_engine(self):
+        """A newly 'booted' engine: initial tables, recovery-ready log."""
+        engine = make_engine(self.spec.system, self.spec.resolved_config())
+        self.workload.setup(engine)
+        log = engine.recovery_log()
+        if log is None:
+            raise ValueError(f"{self.spec.system} exposes no recovery log")
+        log.retain_all = True
+        log.group_commit_size = self.spec.group_commit_size
+        return engine, log
+
+    def _point_pool(self, engine) -> list[str]:
+        if self.spec.points is not None:
+            return list(self.spec.points)
+        pool = [WAL_BEFORE_APPEND, WAL_AFTER_APPEND, WAL_GROUP_COMMIT, TXN_BODY]
+        if getattr(engine, "locks", None) is not None:
+            pool.append(LOCK_ACQUIRE)
+        return pool
+
+    def _segment_injector(
+        self, pool: list[str], segment: int, armed: bool, fault_rng: random.Random
+    ) -> FaultInjector:
+        """One crash per segment, cycling round-robin over the pool."""
+        schedule = []
+        if armed:
+            point = pool[segment % len(pool)]
+            lo, hi = _AT_HIT_RANGES.get(point, _DEFAULT_AT_HIT_RANGE)
+            schedule.append(FaultSpec(point, at_hit=fault_rng.randint(lo, hi)))
+        if self.spec.abort_probability > 0.0:
+            schedule.append(
+                FaultSpec(
+                    TXN_BODY,
+                    kind=ABORT,
+                    probability=self.spec.abort_probability,
+                    times=-1,
+                )
+            )
+        return FaultInjector(schedule, seed=self.spec.seed * 1000 + segment)
+
+    def _workload_invariants(self, engine) -> list[str]:
+        if isinstance(self.workload, TPCC):
+            return tpcc_invariants(self.workload, engine)
+        return []
+
+    # -- crash + recovery ----------------------------------------------------
+
+    def _recover(
+        self,
+        engine,
+        crash: SimulatedCrash,
+        fault_rng: random.Random,
+        total: EngineStats,
+        attempted: int,
+    ):
+        """The restart path: torn log -> replay -> restore -> verify."""
+        total.merge(engine.stats)
+        image = engine.recovery_log().crash_image(fault_rng)
+        state = replay(image)
+        fresh, fresh_log = self._fresh_engine()
+        restore_engine(state, fresh)
+        problems = verify_against_engine(state, fresh)
+        problems.extend(self._workload_invariants(fresh))
+        report = CrashReport(
+            txn_index=attempted,
+            point=crash.point,
+            hit=crash.hit,
+            lost_records=image.lost_records,
+            torn_tail=image.torn_tail,
+            truncated_records=state.truncated_records,
+            redo_applied=state.redo_applied,
+            undo_applied=state.undo_applied,
+            checkpoint_lsn=state.checkpoint_lsn,
+            state_digest=state.digest(),
+            problems=problems,
+        )
+        # Seed the new log with the recovered state so the next crash
+        # replays from here; the dead process's in-flight transactions
+        # are gone for good and are not carried forward.
+        state.active_records = []
+        write_checkpoint(fresh_log, state)
+        return fresh, fresh_log, report
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self) -> ChaosResult:
+        spec = self.spec
+        fault_rng = random.Random(spec.seed)
+        txn_rng = random.Random(spec.seed + 1)
+        engine, log = self._fresh_engine()
+        pool = self._point_pool(engine)
+        n_crashes = spec.n_crashes if spec.n_crashes is not None else len(pool)
+        segments = n_crashes + 1
+        per_segment = -(-spec.n_txns // segments)
+        total = EngineStats()
+        crashes: list[CrashReport] = []
+        attempted = 0
+        commits_since_ckpt = 0
+        for segment in range(segments):
+            engine.attach_injector(
+                self._segment_injector(pool, segment, segment < n_crashes, fault_rng)
+            )
+            for _ in range(per_segment):
+                procedure, body = self.workload.next_transaction(txn_rng)
+                attempted += 1
+                try:
+                    engine.execute(procedure, body)
+                except SimulatedCrash as crash:
+                    engine, log, report = self._recover(
+                        engine, crash, fault_rng, total, attempted
+                    )
+                    crashes.append(report)
+                    continue
+                if engine.last_outcome != COMMITTED:
+                    continue
+                commits_since_ckpt += 1
+                if spec.checkpoint_every and commits_since_ckpt >= spec.checkpoint_every:
+                    commits_since_ckpt = 0
+                    try:
+                        take_checkpoint(log, truncate=True)
+                    except SimulatedCrash as crash:
+                        engine, log, report = self._recover(
+                            engine, crash, fault_rng, total, attempted
+                        )
+                        crashes.append(report)
+        # Clean shutdown: force the log, replay it, and compare the
+        # recovered state against the live engine.
+        engine.attach_injector(None)
+        log.force()
+        final_state = replay(log)
+        final_problems = verify_against_engine(final_state, engine)
+        final_problems.extend(self._workload_invariants(engine))
+        total.merge(engine.stats)
+        return ChaosResult(
+            system=canonical_name(spec.system),
+            workload=self.workload.name,
+            attempted=attempted,
+            stats=total,
+            crashes=crashes,
+            final_problems=final_problems,
+            final_digest=final_state.digest(),
+        )
+
+
+# -- the suite (CLI entry) ---------------------------------------------------
+
+
+def default_workload_factories() -> dict:
+    """The two canonical chaos workloads (small enough to run in CI)."""
+    return {
+        "micro": lambda: MicroBenchmark(db_bytes=1 << 20, rows_per_txn=4, read_write=True),
+        "tpcc": lambda: TPCC(warehouses=2),
+    }
+
+
+def run_chaos_suite(
+    systems=None,
+    workloads=None,
+    *,
+    quick: bool = False,
+    seed: int = 1,
+    n_txns: int | None = None,
+    n_crashes: int | None = None,
+) -> tuple[str, bool]:
+    """Run the chaos matrix; returns (report text, all passed)."""
+    from repro.bench.report import render_chaos_result  # local: report imports stats
+
+    names = [canonical_name(s) for s in systems] if systems else list(ALL_SYSTEMS)
+    factories = default_workload_factories()
+    if workloads:
+        unknown = [w for w in workloads if w not in factories]
+        if unknown:
+            raise KeyError(
+                f"unknown chaos workload(s) {', '.join(unknown)}; "
+                f"known: {', '.join(factories)}"
+            )
+        factories = {name: factories[name] for name in workloads}
+    overrides = {}
+    if n_txns is not None:
+        overrides["n_txns"] = n_txns
+    if n_crashes is not None:
+        overrides["n_crashes"] = n_crashes
+    lines: list[str] = []
+    all_ok = True
+    for system in names:
+        for name, factory in factories.items():
+            if quick:
+                spec = ChaosSpec.quick(system, seed=seed, **overrides)
+            else:
+                spec = ChaosSpec(system, seed=seed, **overrides)
+            result = ChaosRunner(spec, factory()).run()
+            all_ok = all_ok and result.ok
+            lines.append(render_chaos_result(result))
+    verdict = "all chaos runs clean" if all_ok else "CHAOS FAILURES (see above)"
+    lines.append(verdict)
+    return "\n".join(lines), all_ok

@@ -1,0 +1,177 @@
+"""Deterministic, seeded fault injection.
+
+A :class:`FaultInjector` holds a schedule of :class:`FaultSpec` entries
+and is threaded through an engine's storage layers by
+``Engine.attach_injector``.  The instrumented code calls
+:meth:`FaultInjector.fire` at named **injection points**; when a
+scheduled fault triggers, the injector raises:
+
+* :class:`SimulatedCrash` — the simulated process dies on the spot.
+  The engine object must be treated as dead; the only thing that
+  survives is the durable prefix of its recovery log
+  (``WriteAheadLog.crash_image``), which recovery replays.
+* :class:`InjectedAbort` — a :class:`TransactionAborted` subclass with
+  ``reason="injected-fault"``; the engine rolls back and retries like
+  any other abort.
+
+Everything is deterministic given the schedule and seed: hit counters
+are per-point, probabilistic triggers draw from a private
+``random.Random(seed)``, and the injector records every fault it fired.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.engines.base import AbortReason, TransactionAborted
+
+# -- injection points --------------------------------------------------------
+# The literals below are fired by the instrumented modules (wal.py,
+# lock_manager.py, common.py, base.py use the strings directly to avoid
+# import cycles); these constants are the canonical spelling.
+
+WAL_BEFORE_APPEND = "wal.before_append"
+WAL_AFTER_APPEND = "wal.after_append"
+WAL_GROUP_COMMIT = "wal.group_commit"
+TXN_BODY = "txn.body"
+LOCK_ACQUIRE = "lock.acquire"
+INDEX_INSERT = "index.insert"
+
+INJECTION_POINTS = (
+    WAL_BEFORE_APPEND,
+    WAL_AFTER_APPEND,
+    WAL_GROUP_COMMIT,
+    TXN_BODY,
+    LOCK_ACQUIRE,
+    INDEX_INSERT,
+)
+
+CRASH = "crash"
+ABORT = "abort"
+
+# Injected aborts only make sense where a transaction can still roll
+# back cleanly; commit-path points (WAL appends, group commit) are
+# crash-only.
+_ABORTABLE_POINTS = (TXN_BODY, LOCK_ACQUIRE, INDEX_INSERT)
+
+
+class SimulatedCrash(RuntimeError):
+    """The simulated process dies here; only the durable log survives."""
+
+    def __init__(self, point: str, hit: int) -> None:
+        super().__init__(f"simulated crash at {point} (hit {hit})")
+        self.point = point
+        self.hit = hit
+
+
+class InjectedAbort(TransactionAborted):
+    """A fault-injected transaction abort (retried like any abort)."""
+
+    def __init__(self, point: str, hit: int) -> None:
+        super().__init__(
+            f"injected abort at {point} (hit {hit})", reason=AbortReason.INJECTED
+        )
+        self.point = point
+        self.hit = hit
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Triggers either on an exact hit count of its point (``at_hit``,
+    1-based) or probabilistically per hit (``probability``); ``times``
+    bounds how often it fires (-1 = unlimited).
+    """
+
+    point: str
+    kind: str = CRASH
+    at_hit: int | None = None
+    probability: float = 0.0
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.point not in INJECTION_POINTS:
+            raise ValueError(
+                f"unknown injection point {self.point!r}; "
+                f"known: {', '.join(INJECTION_POINTS)}"
+            )
+        if self.kind not in (CRASH, ABORT):
+            raise ValueError(f"fault kind must be 'crash' or 'abort', got {self.kind!r}")
+        if self.kind == ABORT and self.point not in _ABORTABLE_POINTS:
+            raise ValueError(
+                f"abort faults are only valid at {', '.join(_ABORTABLE_POINTS)}; "
+                f"{self.point!r} is past the point of clean rollback (use a crash)"
+            )
+        if self.at_hit is None and self.probability <= 0.0:
+            raise ValueError("need at_hit >= 1 or probability > 0")
+        if self.at_hit is not None and self.at_hit < 1:
+            raise ValueError("at_hit is 1-based")
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """Record of one fault the injector actually raised."""
+
+    point: str
+    hit: int
+    kind: str
+
+
+class FaultInjector:
+    """Fires scheduled faults at named injection points, deterministically."""
+
+    def __init__(self, schedule=(), seed: int = 0) -> None:
+        self.schedule: list[FaultSpec] = list(schedule)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.hits: dict[str, int] = {}
+        self.fired: list[FiredFault] = []
+        self._remaining = [spec.times for spec in self.schedule]
+        self.armed = True
+        self._aborts_suspended = 0
+
+    def fire(self, point: str, **context) -> None:
+        """Called by instrumented code; raises if a fault triggers.
+
+        ``context`` is informational (wal name, txn id, ...) and does
+        not affect determinism.
+        """
+        if not self.armed:
+            return
+        hit = self.hits.get(point, 0) + 1
+        self.hits[point] = hit
+        for i, spec in enumerate(self.schedule):
+            if spec.point != point or self._remaining[i] == 0:
+                continue
+            if spec.at_hit is not None:
+                triggered = spec.at_hit == hit
+            else:
+                triggered = self._rng.random() < spec.probability
+            if not triggered:
+                continue
+            if spec.kind == ABORT and self._aborts_suspended:
+                continue
+            if self._remaining[i] > 0:
+                self._remaining[i] -= 1
+            self.fired.append(FiredFault(point, hit, spec.kind))
+            if spec.kind == CRASH:
+                # The process is dead: never fire again on this injector.
+                self.armed = False
+                raise SimulatedCrash(point, hit)
+            raise InjectedAbort(point, hit)
+
+    @contextmanager
+    def suspend_aborts(self):
+        """No injected aborts inside (commit paths); crashes still fire."""
+        self._aborts_suspended += 1
+        try:
+            yield
+        finally:
+            self._aborts_suspended -= 1
+
+    @property
+    def crashed(self) -> bool:
+        return not self.armed

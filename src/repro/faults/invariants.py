@@ -1,0 +1,104 @@
+"""TPC-C consistency conditions checked after crash recovery.
+
+These are delta-based adaptations of the TPC-C clause 3.3.2 consistency
+requirements.  Initial column values come from the deterministic
+``Schema.default_row`` pre-population, so each condition compares the
+*change* since load against what committed transactions must have done:
+
+1. For every warehouse, Δw_ytd equals the sum of Δd_ytd over its ten
+   districts (Payment updates both by the same amount, atomically).
+2. For every district, Δd_next_o_id equals the number of orders
+   actually inserted in that district's dense order-id window (a
+   committed NewOrder does exactly one of each).
+3. Every inserted order has a consistent NEW-ORDER companion: either
+   its NEW-ORDER row still exists and the order is undelivered
+   (carrier 0), or Delivery removed it and stamped a carrier in 1..10.
+
+Row reads go through ``engine.committed_row`` so MVCC engines report
+their committed versions rather than stale heap images.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.tpcc import (
+    DISTRICTS_PER_WAREHOUSE,
+    INITIAL_ORDERS_PER_DISTRICT,
+    ORDER_CAP,
+    TPCC,
+)
+
+# Column indices (all TPC-C tables use generic c0..cN schemas).
+_W_YTD = 1  # warehouse.c1, Payment += amount
+_D_NEXT_O_ID = 1  # district.c1, NewOrder += 1
+_D_YTD = 2  # district.c2, Payment += amount
+_O_CARRIER = 3  # orders.c3, Delivery sets 1..10
+
+
+def _initial(table, row_id: int):
+    return table.heap.schema.default_row(row_id)
+
+
+def tpcc_invariants(workload: TPCC, engine) -> list[str]:
+    """Check the conditions above; return a list of violation messages."""
+    problems: list[str] = []
+    warehouse = engine.table("warehouse")
+    district = engine.table("district")
+    orders = engine.table("orders")
+    new_order = engine.table("new_order")
+    orders_preloaded = orders.spec.n_rows
+    new_order_preloaded = new_order.spec.n_rows
+
+    for w in range(workload.n_warehouses):
+        w_rid = warehouse.probe(w, None, 0)
+        w_delta = engine.committed_row("warehouse", w_rid)[_W_YTD] - _initial(warehouse, w_rid)[_W_YTD]
+        d_ytd_sum = 0
+        for d in range(DISTRICTS_PER_WAREHOUSE):
+            dk = workload.district_key(w, d)
+            d_rid = district.probe(dk, None, 0)
+            d_row = engine.committed_row("district", d_rid)
+            d_init = _initial(district, d_rid)
+            d_ytd_sum += d_row[_D_YTD] - d_init[_D_YTD]
+
+            # Scan the dense order-id window the generator could have
+            # used; only inserts that survived commit appear with a
+            # row_id past the pre-loaded region.
+            committed_orders = 0
+            window_end = min(workload.next_o_id(dk), ORDER_CAP)
+            for o_id in range(INITIAL_ORDERS_PER_DISTRICT, window_end):
+                ok = workload.order_key(dk, o_id)
+                o_rid = orders.probe(ok, None, 0)
+                if o_rid is None or o_rid < orders_preloaded:
+                    continue  # NewOrder aborted or crashed before commit
+                committed_orders += 1
+                carrier = engine.committed_row("orders", o_rid)[_O_CARRIER]
+                no_rid = new_order.probe(ok, None, 0)
+                if no_rid is None:
+                    if not 1 <= carrier <= 10:
+                        problems.append(
+                            f"order {ok} (district {dk}): delivered "
+                            f"(NEW-ORDER gone) but carrier is {carrier}"
+                        )
+                elif no_rid < new_order_preloaded:
+                    problems.append(
+                        f"order {ok} (district {dk}): NEW-ORDER entry resolves "
+                        f"to pre-loaded row {no_rid}; insert was lost"
+                    )
+                elif carrier != 0:
+                    problems.append(
+                        f"order {ok} (district {dk}): undelivered "
+                        f"(NEW-ORDER present) but carrier is {carrier}"
+                    )
+
+            next_o_delta = d_row[_D_NEXT_O_ID] - d_init[_D_NEXT_O_ID]
+            if next_o_delta != committed_orders:
+                problems.append(
+                    f"district {dk}: next_o_id advanced by {next_o_delta} "
+                    f"but {committed_orders} orders were inserted"
+                )
+
+        if w_delta != d_ytd_sum:
+            problems.append(
+                f"warehouse {w}: w_ytd delta {w_delta} != sum of "
+                f"district ytd deltas {d_ytd_sum}"
+            )
+    return problems

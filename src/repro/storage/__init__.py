@@ -26,12 +26,24 @@ from repro.storage.lock_manager import LockConflict, LockManager, LockMode, comp
 from repro.storage.mvcc import MVCCStore, ValidationFailure
 from repro.storage.record import LONG, STRING50, ColumnType, Schema, microbench_schema, string_type
 from repro.storage.recovery import (
+    CHECKPOINT,
     RecoveredState,
     analyse,
     replay,
+    restore_engine,
+    take_checkpoint,
+    valid_prefix,
     verify_against_engine,
+    write_checkpoint,
 )
-from repro.storage.wal import LogRecord, WriteAheadLog
+from repro.storage.wal import (
+    LogImage,
+    LogRecord,
+    RECORD_HEADER_BYTES,
+    WriteAheadLog,
+    record_checksum,
+    torn_copy,
+)
 
 __all__ = [
     "ART",
@@ -44,6 +56,7 @@ __all__ = [
     "BTREE",
     "BufferPool",
     "CC_BTREE",
+    "CHECKPOINT",
     "CacheConsciousBTree",
     "ColumnType",
     "DataAddressSpace",
@@ -55,9 +68,11 @@ __all__ = [
     "LockConflict",
     "LockManager",
     "LockMode",
+    "LogImage",
     "LogRecord",
     "MATERIALIZE_THRESHOLD",
     "MVCCStore",
+    "RECORD_HEADER_BYTES",
     "RecoveredState",
     "Region",
     "STRING50",
@@ -71,7 +86,13 @@ __all__ = [
     "key_to_bytes",
     "make_index",
     "microbench_schema",
+    "record_checksum",
     "replay",
+    "restore_engine",
     "string_type",
+    "take_checkpoint",
+    "torn_copy",
+    "valid_prefix",
     "verify_against_engine",
+    "write_checkpoint",
 ]

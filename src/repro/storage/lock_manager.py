@@ -76,6 +76,9 @@ class _LockEntry:
 class LockManager:
     """Hash-partitioned lock table with no-wait conflict handling."""
 
+    # Optional FaultInjector threaded in by Engine.attach_injector.
+    injector = None
+
     def __init__(self, name: str, space: DataAddressSpace, *, n_buckets: int = 1 << 14) -> None:
         self.name = name
         self.n_buckets = n_buckets
@@ -102,6 +105,10 @@ class LockManager:
         mod: int = 0,
     ) -> None:
         """Acquire *mode* on *resource* or raise :class:`LockConflict`."""
+        if self.injector is not None:
+            self.injector.fire(
+                "lock.acquire", resource=resource, txn_id=txn_id, mode=mode.value
+            )
         self._emit(resource, trace, mod)
         entry = self._table.get(resource)
         if entry is None:

@@ -1,32 +1,50 @@
 """Log replay: rebuild committed state from the write-ahead log.
 
-The disk-based engines value-log every update/insert/delete plus
-compensation records (CLRs) written during rollback.  :func:`replay`
-performs the classic redo pass of ARIES-style recovery over such a log:
+The engines value-log every update/insert/delete plus compensation
+records (CLRs) written during rollback.  :func:`replay` performs
+ARIES-style recovery over such a log (or over a torn
+:class:`~repro.storage.wal.LogImage` left behind by a crash):
 
-1. **Analysis** — scan for commit/abort markers to classify every
+1. **Torn-record detection** — replay is truncated to the longest
+   prefix of records whose checksums verify; a record torn mid-write by
+   the crash invalidates itself and everything after it;
+2. **Checkpoint** — the last intact ``checkpoint`` record seeds the
+   recovered state (its payload carries the committed rows / index
+   deltas at checkpoint time plus the log records of transactions then
+   in flight), so replay restarts from the checkpoint instead of the
+   log's beginning;
+3. **Analysis** — scan for commit/abort markers to classify every
    transaction (committed, aborted, or in-flight at the crash point);
-2. **Redo with filtering** — re-apply, in LSN order, the effects of
+4. **Redo with filtering** — re-apply, in LSN order, the effects of
    committed transactions.  Value logging (we log the *after* image)
    makes undo unnecessary for aborted/in-flight transactions: their
-   records are simply skipped, and their CLRs — which carry the restore
-   images the engine wrote while rolling back — are skipped with them.
+   forward records are simply skipped;
+5. **Undo** — a transaction that was mid-rollback when the process died
+   left a partial trail of CLRs.  Replaying those CLRs (in log order,
+   as ARIES redoes compensations) completes the interrupted rollback,
+   restoring the before-images the engine had already compensated.
 
-The result is the table state a restarted engine would recover to,
-which the tests compare against the live engine's actual state
-(``tests/test_recovery.py``) — a machine-checked proof that the logging
-protocol captures exactly the committed effects.
+The result is the table state a restarted engine would recover to;
+:func:`restore_engine` applies it onto a freshly set-up engine and
+:func:`verify_against_engine` compares recovered and live state — a
+machine-checked proof that the logging protocol captures exactly the
+committed effects.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
-from repro.storage.wal import LogRecord, WriteAheadLog
+from repro.core.trace import AccessTrace
+from repro.storage.wal import LogRecord, RECORD_HEADER_BYTES, WriteAheadLog
 
 COMMITTED = "committed"
 ABORTED = "aborted"
 IN_FLIGHT = "in-flight"
+
+CHECKPOINT = "checkpoint"
+"""Record kind of periodic checkpoints (txn_id 0, not a transaction)."""
 
 
 @dataclass
@@ -42,6 +60,15 @@ class RecoveredState:
     txn_status: dict[int, str] = field(default_factory=dict)
     redo_applied: int = 0
     skipped: int = 0
+    # CLRs of in-flight rollbacks re-applied by the undo pass.
+    undo_applied: int = 0
+    # Records dropped by torn-prefix truncation.
+    truncated_records: int = 0
+    # LSN of the checkpoint replay restarted from (None = full replay).
+    checkpoint_lsn: int | None = None
+    # Log records of transactions in flight at the end of the replayed
+    # prefix (what the next checkpoint must carry forward).
+    active_records: list[LogRecord] = field(default_factory=list)
 
     def row(self, table: str, row_id: int) -> tuple | None:
         return self.rows.get((table, row_id))
@@ -54,11 +81,39 @@ class RecoveredState:
             return True
         return None
 
+    def digest(self) -> int:
+        """Order-independent checksum of the recovered state.
+
+        Equal digests for equal recovered states make the determinism
+        property ("same fault schedule -> identical recovered state")
+        machine-checkable.
+        """
+        content = (
+            sorted(self.rows.items()),
+            sorted(self.inserted_keys.items()),
+            sorted(self.deleted_keys),
+        )
+        return zlib.crc32(repr(content).encode())
+
+
+def valid_prefix(records: list[LogRecord]) -> tuple[list[LogRecord], int]:
+    """Longest prefix of checksum-intact records, plus the count dropped.
+
+    A torn record invalidates itself and everything after it — exactly
+    what sequential log replay against per-record CRCs does.
+    """
+    for i, record in enumerate(records):
+        if not record.intact:
+            return list(records[:i]), len(records) - i
+    return list(records), 0
+
 
 def analyse(records: list[LogRecord]) -> dict[int, str]:
     """Pass 1: classify every transaction seen in the log."""
     status: dict[int, str] = {}
     for record in records:
+        if record.kind == CHECKPOINT:
+            continue
         if record.kind == "commit":
             status[record.txn_id] = COMMITTED
         elif record.kind == "abort":
@@ -68,22 +123,65 @@ def analyse(records: list[LogRecord]) -> dict[int, str]:
     return status
 
 
-def replay(log: WriteAheadLog) -> RecoveredState:
-    """Analysis + filtered redo over *log* (which must retain_all)."""
+def _load_checkpoint(records: list[LogRecord]):
+    """Locate the last checkpoint; returns (state seed, tail records)."""
+    last = None
+    for i, record in enumerate(records):
+        if record.kind == CHECKPOINT and record.payload is not None:
+            last = i
+    if last is None:
+        return {}, {}, set(), [], None, records
+    rows_items, inserted_items, deleted_items, active = records[last].payload
+    rows = {tuple(k) if isinstance(k, list) else k: tuple(v) for k, v in rows_items}
+    inserted = {tuple(k) if isinstance(k, list) else k: v for k, v in inserted_items}
+    deleted = {tuple(k) if isinstance(k, list) else k for k in deleted_items}
+    return rows, inserted, deleted, list(active), records[last].lsn, records[last + 1:]
+
+
+def replay(log) -> RecoveredState:
+    """Truncate + checkpoint-seed + analysis + filtered redo + undo.
+
+    *log* is a :class:`WriteAheadLog` (which must ``retain_all``) or a
+    :class:`~repro.storage.wal.LogImage` from :meth:`crash_image`.
+    """
     if not log.retain_all:
         raise ValueError(
             "log replay needs a retain_all=True WriteAheadLog: the default "
             "trims its in-memory tail after group commits"
         )
-    records = log.records
-    state = RecoveredState(txn_status=analyse(records))
-    for record in records:
-        if record.payload is None:
+    records, truncated = valid_prefix(log.records)
+    rows, inserted, deleted, carried, ckpt_lsn, tail = _load_checkpoint(records)
+    work = carried + tail
+    state = RecoveredState(
+        rows=rows,
+        inserted_keys=inserted,
+        deleted_keys=deleted,
+        txn_status=analyse(work),
+        truncated_records=truncated,
+        checkpoint_lsn=ckpt_lsn,
+    )
+    status = state.txn_status
+    clrs_by_txn: dict[int, list[LogRecord]] = {}
+    for record in work:
+        if record.kind == CHECKPOINT or record.payload is None:
             continue
-        if state.txn_status.get(record.txn_id) != COMMITTED:
+        if status.get(record.txn_id) != COMMITTED:
             state.skipped += 1
+            if record.kind == "clr" and status.get(record.txn_id) == IN_FLIGHT:
+                clrs_by_txn.setdefault(record.txn_id, []).append(record)
             continue
         _redo(state, record)
+    # Undo pass: a transaction that died mid-rollback left CLRs carrying
+    # the restore images it had already applied; re-applying them (in
+    # log order — ARIES redoes compensations forward) completes the
+    # rollback on the recovered state.
+    for clrs in clrs_by_txn.values():
+        for record in clrs:
+            _apply_clr(state, record)
+    state.active_records = [
+        r for r in work
+        if r.kind != CHECKPOINT and status.get(r.txn_id) == IN_FLIGHT
+    ]
     return state
 
 
@@ -113,17 +211,129 @@ def _redo(state: RecoveredState, record: LogRecord) -> None:
     state.redo_applied += 1
 
 
+def _apply_clr(state: RecoveredState, record: LogRecord) -> None:
+    """Re-apply one compensation record of an interrupted rollback."""
+    payload = record.payload
+    action = payload[0]
+    if action == "update":
+        _, table, row_id, old_row = payload
+        state.rows[(table, row_id)] = tuple(old_row)
+    elif action == "uninsert":
+        # The engine's rollback removed the index entry it had added.
+        _, table, key = payload
+        state.inserted_keys.pop((table, key), None)
+        state.deleted_keys.add((table, key))
+    elif action == "undelete":
+        _, table, key, row_id = payload
+        state.deleted_keys.discard((table, key))
+        state.inserted_keys[(table, key)] = row_id
+    else:
+        return
+    state.undo_applied += 1
+
+
+# -- checkpoints ------------------------------------------------------------
+
+
+def write_checkpoint(
+    log: WriteAheadLog,
+    state: RecoveredState,
+    trace: AccessTrace | None = None,
+    mod: int = 0,
+) -> LogRecord:
+    """Append a fuzzy checkpoint carrying *state* and force the log.
+
+    The payload snapshots the committed rows / index deltas plus the
+    records of transactions still in flight (so a later replay can
+    still classify and, if needed, undo them).
+    """
+    payload = (
+        tuple(sorted(state.rows.items())),
+        tuple(sorted(state.inserted_keys.items())),
+        tuple(sorted(state.deleted_keys)),
+        tuple(state.active_records),
+    )
+    estimated = 64 + 16 * (
+        len(state.rows) + len(state.inserted_keys) + len(state.deleted_keys)
+    ) + sum(RECORD_HEADER_BYTES + r.payload_bytes for r in state.active_records)
+    payload_bytes = min(estimated, log.buffer_bytes - RECORD_HEADER_BYTES)
+    record = log.append(0, CHECKPOINT, payload_bytes, trace, mod, payload=payload)
+    log.force()
+    return record
+
+
+def take_checkpoint(
+    log: WriteAheadLog,
+    trace: AccessTrace | None = None,
+    mod: int = 0,
+    *,
+    truncate: bool = False,
+) -> LogRecord:
+    """Replay the log into a state snapshot and checkpoint it.
+
+    With ``truncate=True`` the pre-checkpoint records are dropped from
+    the retained history afterwards (log-space reclamation); replay then
+    restarts from the checkpoint, which must therefore carry everything.
+    """
+    state = replay(log)
+    record = write_checkpoint(log, state, trace, mod)
+    if truncate:
+        log.truncate_before(record.lsn)
+    return record
+
+
+# -- engine round-trip ------------------------------------------------------
+
+
+def _committed_row(engine, table: str, row_id: int) -> tuple:
+    reader = getattr(engine, "committed_row", None)
+    if reader is not None:
+        return reader(table, row_id)
+    return engine.table(table).heap.read(row_id)
+
+
+def restore_engine(state: RecoveredState, engine) -> None:
+    """Apply recovered committed effects onto a freshly set-up engine.
+
+    The engine must have been set up exactly as at the original start
+    (same ``workload.setup``): restart semantics are initial state plus
+    the log's committed effects.  Inserted rows are re-created at their
+    original row ids — holes left by rolled-back inserts become dead
+    default-content slots, as they would after a real recovery that
+    preserves record ids.
+    """
+    for (table, key), row_id in sorted(state.inserted_keys.items(), key=lambda kv: kv[1]):
+        tbl = engine.table(table)
+        heap = tbl.heap
+        if row_id < heap.n_rows:
+            tbl.insert_key(key, row_id)
+            continue
+        while heap.n_rows < row_id:
+            heap.append(heap.schema.default_row(heap.n_rows))  # dead slot
+        values = state.rows.get((table, row_id))
+        heap.append(values if values is not None else heap.schema.default_row(row_id))
+        tbl.insert_key(key, row_id)
+    for (table, row_id), values in sorted(state.rows.items()):
+        heap = engine.table(table).heap
+        while heap.n_rows <= row_id:
+            heap.append(heap.schema.default_row(heap.n_rows))
+        heap.write(row_id, tuple(values))
+    for table, key in sorted(state.deleted_keys):
+        engine.table(table).delete_key(key)
+
+
 def verify_against_engine(state: RecoveredState, engine) -> list[str]:
     """Compare recovered state with the live engine; returns mismatches.
 
-    Every committed after-image in the log must match the engine's heap,
-    and committed deletes/inserts must agree with the engine's indexes.
+    Every committed after-image in the log must match the engine's
+    committed view (heap, or version store for MVCC engines), and
+    committed deletes/inserts must agree with the engine's indexes.
     An empty list means the logging protocol captured the committed
     state exactly.
     """
     problems: list[str] = []
     for (table, row_id), values in state.rows.items():
-        actual = engine.table(table).heap.read(row_id)
+        actual = _committed_row(engine, table, row_id)
         if actual != values:
             problems.append(
                 f"{table}[{row_id}]: log says {values!r}, engine has {actual!r}"

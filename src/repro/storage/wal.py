@@ -10,28 +10,82 @@ bumping the LSN.
 Flushes happen in the background in batches (group commit); the flush
 daemon is bookkeeping only and contributes nothing to the worker's
 trace, matching the paper's filtered-to-the-worker-thread methodology.
+
+Crash consistency: every record carries a CRC over its logical content,
+and :meth:`WriteAheadLog.crash_image` produces the log a restarted
+process would find after the process dies — the flushed prefix is
+durable, the unflushed tail is partially lost and its last surviving
+record may be torn (checksum mismatch).  Recovery truncates replay to
+the last valid prefix (see :mod:`repro.storage.recovery`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+import zlib
+from dataclasses import dataclass, field, replace
 
 from repro.core.spec import CACHE_LINE_BYTES
 from repro.core.trace import AccessTrace
 from repro.storage.address_space import DataAddressSpace
 
 _RECORD_HEADER_BYTES = 24
+RECORD_HEADER_BYTES = _RECORD_HEADER_BYTES
+
+# Fault-injection point names fired by this module (canonical constants
+# live in repro.faults.injector; string literals here avoid an import
+# cycle storage -> faults -> engines -> storage).
+_POINT_BEFORE_APPEND = "wal.before_append"
+_POINT_AFTER_APPEND = "wal.after_append"
+_POINT_GROUP_COMMIT = "wal.group_commit"
+
+
+def record_checksum(lsn: int, txn_id: int, kind: str, payload_bytes: int, payload) -> int:
+    """CRC over a record's logical content (simulated on-disk checksum)."""
+    return zlib.crc32(repr((lsn, txn_id, kind, payload_bytes, payload)).encode())
 
 
 @dataclass(frozen=True)
 class LogRecord:
     lsn: int
     txn_id: int
-    kind: str  # 'begin' | 'update' | 'insert' | 'delete' | 'clr' | 'commit' | 'abort'
+    kind: str  # 'begin' | 'update' | 'insert' | 'delete' | 'clr' | 'commit' | 'abort' | 'checkpoint'
     payload_bytes: int
     # Value-logging payload (kind-specific tuple); lets the recovery
     # module rebuild committed state from the log alone.
     payload: tuple | None = None
+    # CRC over the logical content; None marks hand-built records that
+    # skip checksumming (treated as intact).
+    checksum: int | None = None
+
+    @property
+    def intact(self) -> bool:
+        """True unless the stored checksum mismatches the content."""
+        if self.checksum is None:
+            return True
+        return self.checksum == record_checksum(
+            self.lsn, self.txn_id, self.kind, self.payload_bytes, self.payload
+        )
+
+
+def torn_copy(record: LogRecord) -> LogRecord:
+    """A copy of *record* whose tail was torn by the crash (bad CRC)."""
+    return replace(record, checksum=(record.checksum or 0) ^ 0x5A17F00D)
+
+
+@dataclass
+class LogImage:
+    """The durable log a restarted process finds after a crash.
+
+    Quacks enough like :class:`WriteAheadLog` for
+    :func:`repro.storage.recovery.replay`: it has ``records`` and is
+    always ``retain_all`` (it *is* the full durable history).
+    """
+
+    records: list[LogRecord] = field(default_factory=list)
+    lost_records: int = 0  # unflushed-tail records that never hit disk
+    torn_tail: bool = False  # last surviving record torn mid-write
+    retain_all: bool = True
 
 
 class WriteAheadLog:
@@ -59,6 +113,8 @@ class WriteAheadLog:
         self.flushed_lsn = 0
         self._pending_commits = 0
         self.flushes = 0
+        # Optional FaultInjector threaded in by Engine.attach_injector.
+        self.injector = None
 
     def append(
         self,
@@ -71,7 +127,17 @@ class WriteAheadLog:
         payload: tuple | None = None,
     ) -> LogRecord:
         """Format a record into the buffer; returns it."""
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload_bytes {payload_bytes}")
         size = _RECORD_HEADER_BYTES + payload_bytes
+        if size > self.buffer_bytes:
+            raise ValueError(
+                f"log record of {size} bytes cannot fit the {self.buffer_bytes}-byte "
+                f"buffer of {self.name!r}; raise buffer_bytes or split the record"
+            )
+        injector = self.injector
+        if injector is not None:
+            injector.fire(_POINT_BEFORE_APPEND, wal=self.name, kind=kind, txn_id=txn_id)
         if self._head + size > self.buffer_bytes:
             self._head = 0  # wrap (old contents flushed long ago)
         if trace is not None:
@@ -81,6 +147,7 @@ class WriteAheadLog:
         record = LogRecord(
             lsn=self.next_lsn, txn_id=txn_id, kind=kind,
             payload_bytes=payload_bytes, payload=payload,
+            checksum=record_checksum(self.next_lsn, txn_id, kind, payload_bytes, payload),
         )
         self.next_lsn += 1
         self._head += size
@@ -89,9 +156,17 @@ class WriteAheadLog:
             self._pending_commits += 1
             if self._pending_commits >= self.group_commit_size:
                 self._flush()
+        if injector is not None:
+            injector.fire(
+                _POINT_AFTER_APPEND, wal=self.name, kind=kind, txn_id=txn_id, lsn=record.lsn
+            )
         return record
 
     def _flush(self) -> None:
+        injector = self.injector
+        if injector is not None:
+            # A crash here loses the whole batch: flushed_lsn not advanced.
+            injector.fire(_POINT_GROUP_COMMIT, wal=self.name, batch=self._pending_commits)
         self.flushed_lsn = self.next_lsn - 1
         self._pending_commits = 0
         self.flushes += 1
@@ -107,6 +182,44 @@ class WriteAheadLog:
     @property
     def unflushed_records(self) -> int:
         return (self.next_lsn - 1) - self.flushed_lsn
+
+    def crash_image(self, rng: random.Random | None = None) -> LogImage:
+        """The log a restarted process would find if the process died now.
+
+        The flushed prefix is durable.  Of the unflushed tail, a
+        rng-chosen prefix survives (the background flusher may have been
+        mid-write), the rest is lost; with probability 1/2 the last
+        surviving tail record is torn — checksummed wrong — so recovery
+        must truncate it.  With ``rng=None`` the whole unflushed tail is
+        lost (the most pessimistic, fully deterministic image).
+        """
+        if not self.retain_all:
+            raise ValueError(
+                "crash_image needs a retain_all=True WriteAheadLog: the default "
+                "trims its in-memory tail after group commits"
+            )
+        durable = [r for r in self.records if r.lsn <= self.flushed_lsn]
+        tail = [r for r in self.records if r.lsn > self.flushed_lsn]
+        if rng is None:
+            keep = 0
+        else:
+            keep = rng.randrange(len(tail) + 1)
+        survivors = list(tail[:keep])
+        torn = False
+        if survivors and rng is not None and rng.random() < 0.5:
+            survivors[-1] = torn_copy(survivors[-1])
+            torn = True
+        return LogImage(
+            records=durable + survivors,
+            lost_records=len(tail) - keep,
+            torn_tail=torn,
+        )
+
+    def truncate_before(self, lsn: int) -> int:
+        """Drop retained records with ``lsn < lsn`` (post-checkpoint GC)."""
+        before = len(self.records)
+        self.records = [r for r in self.records if r.lsn >= lsn]
+        return before - len(self.records)
 
     def estimated_record_lines(self, payload_bytes: int) -> int:
         return -(-(_RECORD_HEADER_BYTES + payload_bytes) // CACHE_LINE_BYTES)

@@ -1,8 +1,10 @@
 """Write-ahead-log tests."""
 
+import pytest
+
 from repro.core.trace import AccessTrace, DSTORE
 from repro.storage.address_space import DataAddressSpace
-from repro.storage.wal import WriteAheadLog
+from repro.storage.wal import WriteAheadLog, record_checksum, torn_copy
 
 
 def make(**kw) -> WriteAheadLog:
@@ -63,3 +65,33 @@ class TestGroupCommit:
         wal = make()
         assert wal.estimated_record_lines(0) == 1
         assert wal.estimated_record_lines(200) == 4
+
+
+class TestIntegrity:
+    def test_append_stamps_verifiable_checksum(self):
+        wal = make()
+        record = wal.append(3, "update", 16, payload=("t", 1, (1, 2)))
+        assert record.checksum == record_checksum(
+            record.lsn, 3, "update", 16, ("t", 1, (1, 2))
+        )
+        assert record.intact
+
+    def test_torn_copy_fails_verification(self):
+        wal = make()
+        record = wal.append(1, "update", 16)
+        assert not torn_copy(record).intact
+
+    def test_record_too_large_for_buffer(self):
+        wal = make(buffer_bytes=256)
+        with pytest.raises(ValueError, match="cannot fit"):
+            wal.append(1, "update", 256)
+        # A record that exactly fits still appends.
+        wal.append(1, "update", 256 - 24)
+
+    def test_truncate_before_reclaims_history(self):
+        wal = make(retain_all=True)
+        for _ in range(6):
+            wal.append(1, "update", 8)
+        dropped = wal.truncate_before(4)
+        assert dropped == 3
+        assert [r.lsn for r in wal.records] == [4, 5, 6]
