@@ -2,11 +2,16 @@
 
 Usage::
 
-    python -m repro.bench fig1 [fig2 ...] [--quick]
-    python -m repro.bench all --quick
-    python -m repro.bench validate --quick   # audit every figure's shape
-    python -m repro.bench chaos --quick      # fault-injection suite
+    python -m repro.bench fig1 [fig2 ...] [--quick] [--jobs N]
+    python -m repro.bench all --quick --jobs 4
+    python -m repro.bench validate --quick    # audit every figure's shape
+    python -m repro.bench chaos --quick       # fault-injection suite
+    python -m repro.bench perf --quick        # simulator perf record
     repro-bench table1
+
+``chaos``, ``validate`` and ``perf`` are proper subcommands with their
+own options; mixing them with figure ids is rejected with a clear
+message instead of falling through to the figure registry.
 """
 
 from __future__ import annotations
@@ -14,79 +19,162 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from repro.bench.figures import ALL_IDS, run_figure
 from repro.bench.report import render_figure
 
+SUBCOMMANDS = ("chaos", "validate", "perf")
 
-def main(argv: list[str] | None = None) -> int:
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fan independent cells/repetitions out over N worker processes "
+            "(0 = one per core; results are bit-identical to serial)"
+        ),
+    )
+
+
+def _resolve_jobs(jobs: int) -> int:
+    if jobs == 0:
+        from repro.bench.parallel import default_jobs
+
+        return default_jobs()
+    return max(1, jobs)
+
+
+def _chaos_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench chaos",
+        description="Fault-injection & crash-recovery suite.",
+    )
+    parser.add_argument("--quick", action="store_true", help="reduced budgets")
+    parser.add_argument(
+        "--systems", nargs="+", default=None, help="systems to run (default: all five)"
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", default=None,
+        help="workloads to run (micro, tpcc; default: both)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="fault-schedule seed")
+    parser.add_argument("--txns", type=int, default=None, help="transactions per run")
+    parser.add_argument("--crashes", type=int, default=None, help="crashes per run")
+    args = parser.parse_args(argv)
+
+    from repro.faults.chaos import run_chaos_suite
+
+    text, ok = run_chaos_suite(
+        systems=args.systems,
+        workloads=args.workloads,
+        quick=args.quick,
+        seed=args.seed,
+        n_txns=args.txns,
+        n_crashes=args.crashes,
+    )
+    print(text)
+    return 0 if ok else 1
+
+
+def _validate_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench validate",
+        description="Audit every figure's shape against the paper's claims.",
+    )
+    parser.add_argument("--quick", action="store_true", help="reduced budgets")
+    _add_jobs_argument(parser)
+    args = parser.parse_args(argv)
+
+    from repro.bench.parallel import using_jobs
+    from repro.bench.validate import render_checks, validate_all
+
+    with using_jobs(_resolve_jobs(args.jobs)):
+        checks = validate_all(quick=args.quick)
+    print(render_checks(checks))
+    return 0 if all(c.passed for c in checks) else 1
+
+
+def _perf_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench perf",
+        description=(
+            "Measure simulator throughput (events/sec, txns/sec, figure "
+            "wall-clock) and append a BENCH_<date>.json record."
+        ),
+    )
+    parser.add_argument("--quick", action="store_true", help="shorter timing runs")
+    _add_jobs_argument(parser)
+    parser.add_argument(
+        "--records-dir",
+        type=Path,
+        default=None,
+        help="where BENCH_*.json records live (default: benchmarks/records)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on a >30%% events/sec regression vs the best prior record",
+    )
+    parser.add_argument(
+        "--no-save", action="store_true", help="measure and report without recording"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.perf import DEFAULT_RECORDS_DIR, run_perf
+
+    text, ok = run_perf(
+        quick=args.quick,
+        jobs=_resolve_jobs(args.jobs),
+        records_dir=args.records_dir or DEFAULT_RECORDS_DIR,
+        check=args.check,
+        save=not args.no_save,
+    )
+    print(text)
+    return 0 if ok else 1
+
+
+def _figures_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description=(
             "Regenerate tables/figures of 'Micro-architectural Analysis of "
             "In-memory OLTP' (SIGMOD 2016) on the simulated server."
         ),
+        epilog="Subcommands: " + ", ".join(SUBCOMMANDS) + " (run e.g. 'repro-bench perf --help').",
     )
     parser.add_argument(
         "figures",
         nargs="+",
-        help=f"figure ids ({', '.join(ALL_IDS)}), 'all', 'validate', or 'chaos'",
+        help=f"figure ids ({', '.join(ALL_IDS)}) or 'all'",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="reduced budgets and a single repetition (tests / smoke runs)",
     )
-    parser.add_argument(
-        "--systems",
-        nargs="+",
-        default=None,
-        help="chaos: systems to run (default: all five)",
-    )
-    parser.add_argument(
-        "--workloads",
-        nargs="+",
-        default=None,
-        help="chaos: workloads to run (micro, tpcc; default: both)",
-    )
-    parser.add_argument(
-        "--seed", type=int, default=1, help="chaos: fault-schedule seed"
-    )
-    parser.add_argument(
-        "--txns", type=int, default=None, help="chaos: transactions per run"
-    )
-    parser.add_argument(
-        "--crashes", type=int, default=None, help="chaos: crashes per run"
-    )
+    _add_jobs_argument(parser)
     args = parser.parse_args(argv)
 
-    if args.figures == ["chaos"]:
-        from repro.faults.chaos import run_chaos_suite
-
-        text, ok = run_chaos_suite(
-            systems=args.systems,
-            workloads=args.workloads,
-            quick=args.quick,
-            seed=args.seed,
-            n_txns=args.txns,
-            n_crashes=args.crashes,
+    mixed = sorted(set(args.figures) & set(SUBCOMMANDS))
+    if mixed:
+        print(
+            f"'{mixed[0]}' is a subcommand, not a figure id; run it on its own: "
+            f"'repro-bench {mixed[0]} [options]'",
+            file=sys.stderr,
         )
-        print(text)
-        return 0 if ok else 1
+        return 2
 
-    if args.figures == ["validate"]:
-        from repro.bench.validate import render_checks, validate_all
-
-        checks = validate_all(quick=args.quick)
-        print(render_checks(checks))
-        return 0 if all(c.passed for c in checks) else 1
-
+    jobs = _resolve_jobs(args.jobs)
     ids = ALL_IDS if "all" in args.figures else args.figures
     status = 0
     for figure_id in ids:
         started = time.time()
         try:
-            output = run_figure(figure_id, quick=args.quick)
+            output = run_figure(figure_id, quick=args.quick, jobs=jobs)
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             status = 2
@@ -100,6 +188,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{figure_id} regenerated in {time.time() - started:.1f}s]")
         print()
     return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    first_positional = next((a for a in argv if not a.startswith("-")), None)
+    if first_positional in SUBCOMMANDS:
+        rest = list(argv)
+        rest.remove(first_positional)
+        if first_positional == "chaos":
+            return _chaos_main(rest)
+        if first_positional == "validate":
+            return _validate_main(rest)
+        return _perf_main(rest)
+    return _figures_main(argv)
 
 
 def console_main() -> int:  # pragma: no cover - thin wrapper

@@ -22,6 +22,14 @@ def load(figure_id: str):
     return import_module(REGISTRY[key])
 
 
-def run_figure(figure_id: str, quick: bool = False):
-    """Run one figure; returns a list of FigureResult (or a string for table1)."""
-    return load(figure_id).run(quick=quick)
+def run_figure(figure_id: str, quick: bool = False, jobs: int | None = None):
+    """Run one figure; returns a list of FigureResult (or a string for table1).
+
+    *jobs* > 1 fans the figure's independent cells/repetitions out over
+    a process pool (see :mod:`repro.bench.parallel`); output is
+    bit-identical to the serial default.
+    """
+    from repro.bench.parallel import using_jobs
+
+    with using_jobs(jobs):
+        return load(figure_id).run(quick=quick)

@@ -3,21 +3,26 @@
 Every figure in the paper is a sweep of (systems x one x-axis) reporting
 one metric; these helpers build those sweeps so each ``figNN`` module
 only states *what the figure varies*.
+
+Sweeps are built as a flat list of cells first and then dispatched
+through :func:`repro.bench.parallel.run_cells`, so an ambient ``--jobs``
+setting fans the independent cells (and their repetitions) out across
+worker processes.  Workloads are described with picklable
+:func:`~repro.bench.parallel.workload_spec` descriptors for exactly that
+reason.  Results are bit-identical to a serial run either way.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro.bench.parallel import CellTask, run_cells, workload_spec
 from repro.bench.results import FigureResult
 from repro.bench.runner import ExperimentRunner, RunResult, RunSpec
 from repro.engines.config import EngineConfig
 from repro.engines.registry import ALL_SYSTEMS, PAPER_LABELS, canonical_name
 from repro.storage.record import ColumnType, LONG
 from repro.workloads.base import PAPER_DB_SIZES
-from repro.workloads.microbench import MicroBenchmark
-from repro.workloads.tpcb import TPCB
-from repro.workloads.tpcc import TPCC
 
 MICRO_SIZES = list(PAPER_DB_SIZES)  # ["1MB", "10MB", "10GB", "100GB"]
 ROWS_SWEEP = [1, 10, 100]
@@ -42,6 +47,22 @@ def engine_config_for(system: str, workload: str, **overrides) -> EngineConfig:
     return EngineConfig(**kwargs)
 
 
+def cell_spec(
+    system: str,
+    *,
+    quick: bool = False,
+    engine_config: EngineConfig | None = None,
+    n_cores: int = 1,
+) -> RunSpec:
+    """The RunSpec for one figure cell."""
+    spec = RunSpec(
+        system=canonical_name(system),
+        engine_config=engine_config or EngineConfig(materialize_threshold=0),
+        n_cores=n_cores,
+    )
+    return spec.quick() if quick else spec
+
+
 def run_cell(
     system: str,
     workload_factory: Callable,
@@ -50,18 +71,22 @@ def run_cell(
     engine_config: EngineConfig | None = None,
     n_cores: int = 1,
 ) -> RunResult:
-    spec = RunSpec(
-        system=canonical_name(system),
-        engine_config=engine_config or EngineConfig(materialize_threshold=0),
-        n_cores=n_cores,
-    )
-    if quick:
-        spec = spec.quick()
+    spec = cell_spec(system, quick=quick, engine_config=engine_config, n_cores=n_cores)
     return ExperimentRunner(spec, workload_factory).run()
 
 
 def labels(systems: list[str]) -> list[str]:
     return [PAPER_LABELS[canonical_name(s)] for s in systems]
+
+
+def fill_figure(
+    figure: FigureResult, keyed_cells: list[tuple[str, str, CellTask]]
+) -> FigureResult:
+    """Run *keyed_cells* ((system label, x, cell)) and add every result."""
+    results = run_cells([cell for _, _, cell in keyed_cells])
+    for (system_label, x, _), result in zip(keyed_cells, results):
+        figure.add(system_label, x, result)
+    return figure
 
 
 def micro_size_sweep(
@@ -85,18 +110,22 @@ def micro_size_sweep(
         x_values=sizes,
         systems=labels(systems),
     )
+    keyed_cells = []
     for system in systems:
         for size in sizes:
-            db_bytes = PAPER_DB_SIZES[size]
-            factory = lambda b=db_bytes: MicroBenchmark(
-                db_bytes=b, rows_per_txn=1, read_write=read_write
+            workload = workload_spec(
+                "micro",
+                db_bytes=PAPER_DB_SIZES[size],
+                rows_per_txn=1,
+                read_write=read_write,
             )
-            result = run_cell(
-                system, factory, quick=quick,
-                engine_config=engine_config_for(system, "micro"),
+            spec = cell_spec(
+                system, quick=quick, engine_config=engine_config_for(system, "micro")
             )
-            figure.add(PAPER_LABELS[canonical_name(system)], size, result)
-    return figure
+            keyed_cells.append(
+                (PAPER_LABELS[canonical_name(system)], size, CellTask(spec, workload))
+            )
+    return fill_figure(figure, keyed_cells)
 
 
 def micro_rows_sweep(
@@ -122,19 +151,25 @@ def micro_rows_sweep(
         x_values=[str(r) for r in rows_values],
         systems=labels(systems),
     )
+    keyed_cells = []
     for system in systems:
         config = (
             engine_config_fn(system) if engine_config_fn
             else engine_config_for(system, "micro")
         )
         for rows in rows_values:
-            factory = lambda r=rows: MicroBenchmark(
-                db_bytes=TPC_DB_BYTES, rows_per_txn=r,
-                read_write=read_write, column_type=column_type,
+            workload = workload_spec(
+                "micro",
+                db_bytes=TPC_DB_BYTES,
+                rows_per_txn=rows,
+                read_write=read_write,
+                column_type=column_type,
             )
-            result = run_cell(system, factory, quick=quick, engine_config=config)
-            figure.add(PAPER_LABELS[canonical_name(system)], str(rows), result)
-    return figure
+            spec = cell_spec(system, quick=quick, engine_config=config)
+            keyed_cells.append(
+                (PAPER_LABELS[canonical_name(system)], str(rows), CellTask(spec, workload))
+            )
+    return fill_figure(figure, keyed_cells)
 
 
 def tpc_sweep(
@@ -158,15 +193,55 @@ def tpc_sweep(
         systems=labels(systems),
     )
     x = figure.x_values[0]
+    keyed_cells = []
     for system in systems:
-        if benchmark == "tpcb":
-            factory = lambda: TPCB(db_bytes=TPC_DB_BYTES)
-        else:
-            factory = lambda: TPCC(db_bytes=TPC_DB_BYTES)
-        result = run_cell(
-            system, factory, quick=quick,
+        workload = workload_spec(benchmark, db_bytes=TPC_DB_BYTES)
+        spec = cell_spec(
+            system,
+            quick=quick,
             engine_config=engine_config_for(system, benchmark),
             n_cores=n_cores,
         )
-        figure.add(PAPER_LABELS[canonical_name(system)], x, result)
-    return figure
+        keyed_cells.append(
+            (PAPER_LABELS[canonical_name(system)], x, CellTask(spec, workload))
+        )
+    return fill_figure(figure, keyed_cells)
+
+
+def multithreaded_sweep(
+    figure_id: str,
+    title: str,
+    metric: str,
+    *,
+    workload,
+    x_value: str,
+    quick: bool = False,
+    workload_kind: str = "micro",
+    systems: list[str] | None = None,
+) -> FigureResult:
+    """Figures 16-19: Section 7's one-worker-per-core runs.
+
+    *workload* is a picklable workload descriptor shared by every
+    system; *workload_kind* picks the per-system engine config.
+    """
+    systems = systems or list(MULTITHREADED_SYSTEMS)
+    figure = FigureResult(
+        figure_id=figure_id,
+        title=title,
+        metric=metric,
+        x_label="benchmark",
+        x_values=[x_value],
+        systems=labels(systems),
+    )
+    keyed_cells = []
+    for system in systems:
+        spec = cell_spec(
+            system,
+            quick=quick,
+            engine_config=engine_config_for(system, workload_kind),
+            n_cores=MULTITHREADED_CORES,
+        )
+        keyed_cells.append(
+            (PAPER_LABELS[canonical_name(system)], x_value, CellTask(spec, workload))
+        )
+    return fill_figure(figure, keyed_cells)

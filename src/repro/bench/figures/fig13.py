@@ -11,10 +11,10 @@ a bucket lookup).
 
 from __future__ import annotations
 
-from repro.bench.figures.common import TPC_DB_BYTES, run_cell
+from repro.bench.figures.common import TPC_DB_BYTES, cell_spec, fill_figure
+from repro.bench.parallel import CellTask, workload_spec
 from repro.bench.results import FigureResult, STALLS_PER_KI
 from repro.engines.config import EngineConfig
-from repro.workloads.microbench import MicroBenchmark
 
 CONFIGS = [
     ("Hash w/ compilation", "hash", True),
@@ -37,15 +37,17 @@ def run_variant(
         x_values=[label for label, _, _ in CONFIGS],
         systems=["DBMS M"],
     )
+    workload = workload_spec(
+        "micro", db_bytes=TPC_DB_BYTES, rows_per_txn=ROWS_PER_TXN, read_write=read_write
+    )
+    keyed_cells = []
     for label, index_kind, compilation in CONFIGS:
         config = EngineConfig(
             index_kind=index_kind, compilation=compilation, materialize_threshold=0
         )
-        factory = lambda: MicroBenchmark(
-            db_bytes=TPC_DB_BYTES, rows_per_txn=ROWS_PER_TXN, read_write=read_write
-        )
-        figure.add("DBMS M", label, run_cell("dbms-m", factory, quick=quick, engine_config=config))
-    return figure
+        spec = cell_spec("dbms-m", quick=quick, engine_config=config)
+        keyed_cells.append(("DBMS M", label, CellTask(spec, workload)))
+    return fill_figure(figure, keyed_cells)
 
 
 def run(quick: bool = False) -> list[FigureResult]:

@@ -9,11 +9,11 @@ fewer random reads than the micro-benchmark.
 
 from __future__ import annotations
 
-from repro.bench.figures.common import TPC_DB_BYTES, run_cell
+from repro.bench.figures.common import TPC_DB_BYTES, cell_spec, fill_figure
 from repro.bench.figures.fig13 import CONFIGS
+from repro.bench.parallel import CellTask, workload_spec
 from repro.bench.results import FigureResult, STALLS_PER_KI
 from repro.engines.config import EngineConfig
-from repro.workloads.tpcc import TPCC
 
 
 def run(quick: bool = False) -> list[FigureResult]:
@@ -25,10 +25,12 @@ def run(quick: bool = False) -> list[FigureResult]:
         x_values=[label for label, _, _ in CONFIGS],
         systems=["DBMS M"],
     )
+    workload = workload_spec("tpcc", db_bytes=TPC_DB_BYTES)
+    keyed_cells = []
     for label, index_kind, compilation in CONFIGS:
         config = EngineConfig(
             index_kind=index_kind, compilation=compilation, materialize_threshold=0
         )
-        factory = lambda: TPCC(db_bytes=TPC_DB_BYTES)
-        figure.add("DBMS M", label, run_cell("dbms-m", factory, quick=quick, engine_config=config))
-    return [figure]
+        spec = cell_spec("dbms-m", quick=quick, engine_config=config)
+        keyed_cells.append(("DBMS M", label, CellTask(spec, workload)))
+    return [fill_figure(figure, keyed_cells)]

@@ -10,11 +10,16 @@ hash-indexed DBMS M shows no significant difference.
 
 from __future__ import annotations
 
-from repro.bench.figures.common import TPC_DB_BYTES, engine_config_for, run_cell
+from repro.bench.figures.common import (
+    TPC_DB_BYTES,
+    cell_spec,
+    engine_config_for,
+    fill_figure,
+)
+from repro.bench.parallel import CellTask, workload_spec
 from repro.bench.results import FigureResult, STALLS_PER_KI
-from repro.engines.registry import PAPER_LABELS, canonical_name
+from repro.engines.registry import PAPER_LABELS
 from repro.storage.record import LONG, STRING50
-from repro.workloads.microbench import MicroBenchmark
 
 SYSTEMS = ["voltdb", "hyper", "dbms-m"]
 TYPES = [("String", STRING50), ("Long", LONG)]
@@ -31,18 +36,21 @@ def run_variant(
         x_values=[label for label, _ in TYPES],
         systems=[PAPER_LABELS[s] for s in SYSTEMS],
     )
+    keyed_cells = []
     for system in SYSTEMS:
         for label, column_type in TYPES:
-            factory = lambda ct=column_type: MicroBenchmark(
-                db_bytes=TPC_DB_BYTES, rows_per_txn=1,
-                read_write=read_write, column_type=ct,
+            workload = workload_spec(
+                "micro",
+                db_bytes=TPC_DB_BYTES,
+                rows_per_txn=1,
+                read_write=read_write,
+                column_type=column_type,
             )
-            result = run_cell(
-                system, factory, quick=quick,
-                engine_config=engine_config_for(system, "micro"),
+            spec = cell_spec(
+                system, quick=quick, engine_config=engine_config_for(system, "micro")
             )
-            figure.add(PAPER_LABELS[canonical_name(system)], label, result)
-    return figure
+            keyed_cells.append((PAPER_LABELS[system], label, CellTask(spec, workload)))
+    return fill_figure(figure, keyed_cells)
 
 
 def run(quick: bool = False) -> list[FigureResult]:

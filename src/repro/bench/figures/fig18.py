@@ -7,37 +7,21 @@ averaged per worker.  HyPer is excluded (its demo is single-threaded).
 
 from __future__ import annotations
 
-from repro.bench.figures.common import (
-    MULTITHREADED_CORES,
-    MULTITHREADED_SYSTEMS,
-    TPC_DB_BYTES,
-    engine_config_for,
-    labels,
-    run_cell,
-)
+from repro.bench.figures.common import TPC_DB_BYTES, multithreaded_sweep
+from repro.bench.parallel import workload_spec
 from repro.bench.results import FigureResult, STALLS_PER_KI
-from repro.engines.registry import PAPER_LABELS, canonical_name
-from repro.workloads.microbench import MicroBenchmark
 
 
 def run(quick: bool = False) -> list[FigureResult]:
-    figure = FigureResult(
-        figure_id="Figure 18",
-        title="Stall cycles per 1000 instructions, multi-threaded micro-benchmark",
-        metric=STALLS_PER_KI,
-        x_label="benchmark",
-        x_values=["micro (RO, 1 row)"],
-        systems=labels(list(MULTITHREADED_SYSTEMS)),
-    )
-    x = figure.x_values[0]
-    for system in MULTITHREADED_SYSTEMS:
-        factory = lambda: MicroBenchmark(db_bytes=TPC_DB_BYTES, rows_per_txn=1, read_write=False)
-        result = run_cell(
-            system,
-            factory,
+    return [
+        multithreaded_sweep(
+            "Figure 18",
+            "Stall cycles per 1000 instructions, multi-threaded micro-benchmark",
+            STALLS_PER_KI,
+            workload=workload_spec(
+                "micro", db_bytes=TPC_DB_BYTES, rows_per_txn=1, read_write=False
+            ),
+            x_value="micro (RO, 1 row)",
             quick=quick,
-            engine_config=engine_config_for(system, "micro"),
-            n_cores=MULTITHREADED_CORES,
         )
-        figure.add(PAPER_LABELS[canonical_name(system)], x, result)
-    return [figure]
+    ]

@@ -7,37 +7,20 @@ averaged per worker.  HyPer is excluded (its demo is single-threaded).
 
 from __future__ import annotations
 
-from repro.bench.figures.common import (
-    MULTITHREADED_CORES,
-    MULTITHREADED_SYSTEMS,
-    TPC_DB_BYTES,
-    engine_config_for,
-    labels,
-    run_cell,
-)
+from repro.bench.figures.common import TPC_DB_BYTES, multithreaded_sweep
+from repro.bench.parallel import workload_spec
 from repro.bench.results import FigureResult, STALLS_PER_KI
-from repro.engines.registry import PAPER_LABELS, canonical_name
-from repro.workloads.tpcc import TPCC
 
 
 def run(quick: bool = False) -> list[FigureResult]:
-    figure = FigureResult(
-        figure_id="Figure 19",
-        title="Stall cycles per 1000 instructions, multi-threaded TPC-C",
-        metric=STALLS_PER_KI,
-        x_label="benchmark",
-        x_values=["TPC-C"],
-        systems=labels(list(MULTITHREADED_SYSTEMS)),
-    )
-    x = figure.x_values[0]
-    for system in MULTITHREADED_SYSTEMS:
-        factory = lambda: TPCC(db_bytes=TPC_DB_BYTES)
-        result = run_cell(
-            system,
-            factory,
+    return [
+        multithreaded_sweep(
+            "Figure 19",
+            "Stall cycles per 1000 instructions, multi-threaded TPC-C",
+            STALLS_PER_KI,
+            workload=workload_spec("tpcc", db_bytes=TPC_DB_BYTES),
+            x_value="TPC-C",
             quick=quick,
-            engine_config=engine_config_for(system, "tpcc"),
-            n_cores=MULTITHREADED_CORES,
+            workload_kind="tpcc",
         )
-        figure.add(PAPER_LABELS[canonical_name(system)], x, result)
-    return [figure]
+    ]

@@ -27,7 +27,7 @@ configures VoltDB), and report per-worker average counters.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.counters import PerfCounters
 from repro.core.cpu import DEFAULT_OVERLAP, OverlapModel
@@ -74,26 +74,38 @@ class RunSpec:
     tlb_spec: object | None = None
 
     def quick(self) -> "RunSpec":
-        """Reduced-budget variant for tests and --quick runs."""
-        return RunSpec(
-            system=self.system,
-            engine_config=self.engine_config,
-            n_cores=self.n_cores,
+        """Reduced-budget variant for tests and --quick runs.
+
+        ``dataclasses.replace`` carries every other field over, so
+        fields added to RunSpec later are preserved automatically.
+        """
+        return replace(
+            self,
             measure_events=QUICK_MEASURE_EVENTS,
             warmup_events=QUICK_WARMUP_EVENTS,
             repetitions=1,
-            seed=self.seed,
-            server=self.server,
-            overlap=self.overlap,
-            serial_miss_extra_cycles=self.serial_miss_extra_cycles,
-            tlb_mode=self.tlb_mode,
-            tlb_spec=self.tlb_spec,
         )
+
+    def rep_seed(self, rep: int) -> int:
+        """Deterministic seed for repetition *rep* (0-based).
+
+        This derivation is the parallel runner's determinism contract:
+        serial and fanned-out executions run the same repetition with
+        the same seed, so their results are bit-identical.
+        """
+        return self.seed + 1000 * rep
 
 
 @dataclass
 class RunResult:
-    """Averaged measurement-window results for one cell."""
+    """Averaged measurement-window results for one cell.
+
+    ``counters`` follow the paper's reporting convention (per-worker
+    average for multi-threaded runs); ``measured_txns`` is always the
+    *true total* number of committed transactions inside the
+    measurement window(s), summed over all workers and repetitions —
+    never the per-worker mean.
+    """
 
     system: str
     counters: PerfCounters
@@ -153,6 +165,118 @@ def prewarm_llc(machine: Machine, engine) -> None:
             fill(base + i * step)
 
 
+def run_repetition(spec: RunSpec, workload_factory, seed: int) -> RunResult:
+    """One repetition of one cell: populate, warm up, measure.
+
+    Module-level (not a method) so the parallel executor can ship the
+    call to a worker process; the serial path runs the very same
+    function, which is what makes ``--jobs N`` bit-identical to serial.
+    """
+    workload: Workload = workload_factory()
+    config = spec.engine_config
+    if spec.n_cores > 1 and config.n_partitions == 1:
+        # Partitioned engines get one partition per worker (paper
+        # Section 3: VoltDB generates one worker per partition).
+        config = replace(config, n_partitions=spec.n_cores)
+    engine = make_engine(spec.system, config)
+    workload.setup(engine)
+    machine = Machine(
+        spec.server,
+        n_cores=spec.n_cores,
+        overlap=spec.overlap,
+        serial_miss_extra_cycles=spec.serial_miss_extra_cycles,
+        tlb_mode=spec.tlb_mode,
+        tlb_spec=spec.tlb_spec,
+    )
+    prewarm_llc(machine, engine)
+
+    rng = random.Random(seed)
+    partitioned = engine.is_partitioned and spec.n_cores > 1
+
+    def run_phase(event_budget: int, min_txns: int) -> int:
+        events = 0
+        txns = 0
+        attempts = 0
+        core = 0
+        attempt_cap = max(min_txns, 1) * 1000
+        while events < event_budget or txns < min_txns:
+            partition = core if partitioned else None
+            procedure, body = workload.next_transaction(
+                rng, partition=partition, n_partitions=spec.n_cores
+            )
+            trace = engine.execute(procedure, body, core_id=core)
+            # Only commits count as transactions; aborted attempts'
+            # events still replay (the hardware saw that work) but
+            # must not dilute per-transaction metrics.
+            committed = engine.last_outcome == COMMITTED
+            machine.run_trace(
+                trace, core_id=core, transactions=1 if committed else 0
+            )
+            events += len(trace)
+            attempts += 1
+            if committed:
+                txns += 1
+            core = (core + 1) % spec.n_cores
+            if attempts >= attempt_cap and txns < min_txns:
+                raise RuntimeError(
+                    f"{spec.system}: {attempts} attempts produced only "
+                    f"{txns}/{min_txns} commits — workload cannot make progress"
+                )
+        return txns
+
+    run_phase(spec.warmup_events, MIN_WARMUP_TXNS)
+    profiler = Profiler(machine)
+    profiler.start_window()
+    measured_txns = run_phase(spec.measure_events, MIN_MEASURED_TXNS)
+    window = profiler.end_window()
+
+    # Per-worker average, as the paper reports multi-threaded runs —
+    # but measured_txns stays the true total committed count across all
+    # workers (scaling it down with the mean would report a per-worker
+    # float that summation over repetitions silently mixes up).
+    counters = window.mean_core_counters() if spec.n_cores > 1 else window.counters()
+    layout = engine.layout
+    named_cycles = {
+        layout.name_of(mod): cycles for mod, cycles in window.module_cycles.items()
+    }
+    groups = {layout.name_of(m): layout.group_of(m) for m in layout.ids()}
+    return RunResult(
+        system=spec.system,
+        counters=counters,
+        module_cycles=named_cycles,
+        module_groups=groups,
+        server=spec.server,
+        measured_txns=measured_txns,
+    )
+
+
+def aggregate_repetitions(spec: RunSpec, rep_results: list[RunResult]) -> RunResult:
+    """Fold per-repetition results into one cell result.
+
+    Pure and order-dependent only on the list order; both execution
+    paths pass repetitions in seed order, so serial and parallel
+    aggregation are bit-identical.
+    """
+    total = PerfCounters()
+    module_cycles: dict[str, float] = {}
+    module_groups: dict[str, str] = {}
+    measured_txns = 0
+    for rep_result in rep_results:
+        total.add(rep_result.counters)
+        measured_txns += rep_result.measured_txns
+        for name, cycles in rep_result.module_cycles.items():
+            module_cycles[name] = module_cycles.get(name, 0.0) + cycles
+        module_groups.update(rep_result.module_groups)
+    return RunResult(
+        system=spec.system,
+        counters=total,
+        module_cycles=module_cycles,
+        module_groups=module_groups,
+        server=spec.server,
+        measured_txns=measured_txns,
+    )
+
+
 class ExperimentRunner:
     """Runs one cell: engine x workload x budgets x repetitions."""
 
@@ -160,104 +284,21 @@ class ExperimentRunner:
         self.spec = spec
         self.workload_factory = workload_factory
 
-    def run(self) -> RunResult:
+    def run(self, jobs: int | None = None) -> RunResult:
+        """Run every repetition and aggregate.
+
+        *jobs* > 1 fans repetitions out across worker processes when
+        the workload factory is a picklable descriptor (see
+        :mod:`repro.bench.parallel`); results are bit-identical to the
+        serial path.  ``None`` means the ambient jobs setting.
+        """
         spec = self.spec
-        total = PerfCounters()
-        module_cycles: dict[str, float] = {}
-        module_groups: dict[str, str] = {}
-        measured_txns = 0
-        for rep in range(spec.repetitions):
-            rep_result = self._run_once(seed=spec.seed + 1000 * rep)
-            total.add(rep_result.counters)
-            measured_txns += rep_result.counters.transactions
-            for name, cycles in rep_result.module_cycles.items():
-                module_cycles[name] = module_cycles.get(name, 0.0) + cycles
-            module_groups.update(rep_result.module_groups)
-        return RunResult(
-            system=spec.system,
-            counters=total,
-            module_cycles=module_cycles,
-            module_groups=module_groups,
-            server=spec.server,
-            measured_txns=measured_txns,
-        )
+        from repro.bench.parallel import map_repetitions
+
+        rep_results = map_repetitions(spec, self.workload_factory, jobs=jobs)
+        return aggregate_repetitions(spec, rep_results)
 
     # -- single repetition ----------------------------------------------------
 
     def _run_once(self, seed: int) -> RunResult:
-        spec = self.spec
-        workload: Workload = self.workload_factory()
-        config = spec.engine_config
-        if spec.n_cores > 1 and config.n_partitions == 1:
-            # Partitioned engines get one partition per worker (paper
-            # Section 3: VoltDB generates one worker per partition).
-            config = EngineConfig(
-                **{**config.__dict__, "n_partitions": spec.n_cores}
-            )
-        engine = make_engine(spec.system, config)
-        workload.setup(engine)
-        machine = Machine(
-            spec.server,
-            n_cores=spec.n_cores,
-            overlap=spec.overlap,
-            serial_miss_extra_cycles=spec.serial_miss_extra_cycles,
-            tlb_mode=spec.tlb_mode,
-            tlb_spec=spec.tlb_spec,
-        )
-        prewarm_llc(machine, engine)
-
-        rng = random.Random(seed)
-        partitioned = engine.is_partitioned and spec.n_cores > 1
-
-        def run_phase(event_budget: int, min_txns: int) -> int:
-            events = 0
-            txns = 0
-            attempts = 0
-            core = 0
-            attempt_cap = max(min_txns, 1) * 1000
-            while events < event_budget or txns < min_txns:
-                partition = core if partitioned else None
-                procedure, body = workload.next_transaction(
-                    rng, partition=partition, n_partitions=spec.n_cores
-                )
-                trace = engine.execute(procedure, body, core_id=core)
-                # Only commits count as transactions; aborted attempts'
-                # events still replay (the hardware saw that work) but
-                # must not dilute per-transaction metrics.
-                committed = engine.last_outcome == COMMITTED
-                machine.run_trace(
-                    trace, core_id=core, transactions=1 if committed else 0
-                )
-                events += len(trace)
-                attempts += 1
-                if committed:
-                    txns += 1
-                core = (core + 1) % spec.n_cores
-                if attempts >= attempt_cap and txns < min_txns:
-                    raise RuntimeError(
-                        f"{spec.system}: {attempts} attempts produced only "
-                        f"{txns}/{min_txns} commits — workload cannot make progress"
-                    )
-            return txns
-
-        run_phase(spec.warmup_events, MIN_WARMUP_TXNS)
-        profiler = Profiler(machine)
-        profiler.start_window()
-        run_phase(spec.measure_events, MIN_MEASURED_TXNS)
-        window = profiler.end_window()
-
-        # Per-worker average, as the paper reports multi-threaded runs.
-        counters = window.mean_core_counters() if spec.n_cores > 1 else window.counters()
-        layout = engine.layout
-        named_cycles = {
-            layout.name_of(mod): cycles for mod, cycles in window.module_cycles.items()
-        }
-        groups = {layout.name_of(m): layout.group_of(m) for m in layout.ids()}
-        return RunResult(
-            system=spec.system,
-            counters=counters,
-            module_cycles=named_cycles,
-            module_groups=groups,
-            server=spec.server,
-            measured_txns=counters.transactions,
-        )
+        return run_repetition(self.spec, self.workload_factory, seed)

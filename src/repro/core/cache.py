@@ -76,10 +76,15 @@ class SetAssociativeCache:
         return line_addr in self._sets[line_addr % self.n_sets]
 
     def fill(self, line_addr: int, *, dirty: bool = False) -> None:
-        """Install a line without counting an access (inclusive fills)."""
+        """Install a line without counting an access (inclusive fills).
+
+        A fill of a resident line refreshes its LRU recency, same as a
+        hit — the line was touched either way.
+        """
         s = self._sets[line_addr % self.n_sets]
-        if line_addr in s:
-            s[line_addr] = s[line_addr] or dirty
+        prev = s.pop(line_addr, None)
+        if prev is not None:
+            s[line_addr] = prev or dirty
             return
         if len(s) >= self.assoc:
             s.pop(next(iter(s)))

@@ -84,6 +84,77 @@ class MemoryHierarchy:
         core.l1i.fill(line)
         return MEMORY
 
+    def access_instr_run(self, core_id: int, start: int, n_lines: int) -> tuple[int, int, int]:
+        """Fetch *n_lines* consecutive instruction lines; return miss tallies.
+
+        Semantically identical to calling :meth:`access_instr` once per
+        line — same LRU state evolution and the same final
+        :class:`~repro.core.cache.CacheStats` — but the set-dict probes
+        are inlined and stats batched per run instead of per line (the
+        replay-loop fast path).  Two exact equivalences make the
+        inlining safe: ``lookup`` allocates on miss, so the ``fill``
+        calls of the per-line path always find the line present and are
+        no-ops; and instruction lines are never dirty, so re-inserting
+        the popped LRU value is the whole hit path.
+        Returns ``(l1i_misses, l2i_misses, llci_misses)``.
+        """
+        core = self.cores[core_id]
+        l1i = core.l1i
+        l2 = core.l2
+        llc = self.llc
+        l1_sets, n1, a1 = l1i._sets, l1i.n_sets, l1i.assoc
+        l2_sets, n2, a2 = l2._sets, l2.n_sets, l2.assoc
+        l3_sets, n3, a3 = llc._sets, llc.n_sets, llc.assoc
+        l1m = l2m = llcm = 0
+        e1 = e2 = e3 = 0
+        for line in range(start, start + n_lines):
+            s = l1_sets[line % n1]
+            d = s.pop(line, None)
+            if d is not None:
+                s[line] = d
+                continue
+            l1m += 1
+            if len(s) >= a1:
+                s.pop(next(iter(s)))
+                e1 += 1
+            s[line] = False
+            s = l2_sets[line % n2]
+            d = s.pop(line, None)
+            if d is not None:
+                s[line] = d
+                continue
+            l2m += 1
+            if len(s) >= a2:
+                s.pop(next(iter(s)))
+                e2 += 1
+            s[line] = False
+            s = l3_sets[line % n3]
+            d = s.pop(line, None)
+            if d is not None:
+                s[line] = d
+                continue
+            llcm += 1
+            if len(s) >= a3:
+                s.pop(next(iter(s)))
+                e3 += 1
+            s[line] = False
+        st = l1i.stats
+        st.accesses += n_lines
+        st.hits += n_lines - l1m
+        st.misses += l1m
+        st.evictions += e1
+        st = l2.stats
+        st.accesses += l1m
+        st.hits += l1m - l2m
+        st.misses += l2m
+        st.evictions += e2
+        st = llc.stats
+        st.accesses += l2m
+        st.hits += l2m - llcm
+        st.misses += llcm
+        st.evictions += e3
+        return l1m, l2m, llcm
+
     def access_data(self, core_id: int, line: int, write: bool) -> tuple[int, bool]:
         """Data access of *line*; returns (serving level, coherence flag).
 

@@ -17,7 +17,7 @@ from repro.core.counters import PerfCounters
 from repro.core.cpu import DEFAULT_OVERLAP, CycleModel, OverlapModel
 from repro.core.hierarchy import L1, L2, MEMORY, MemoryHierarchy
 from repro.core.spec import IVY_BRIDGE, ServerSpec
-from repro.core.trace import AccessTrace, DLOAD_SERIAL, DSTORE, IFETCH
+from repro.core.trace import AccessTrace, DLOAD_SERIAL, DSTORE, IFETCH, IFETCH_RUN
 
 # Per-module attribution table layout (one list of ints per module id).
 M_IF_L1M = 0
@@ -80,6 +80,7 @@ class Machine:
         """
         hierarchy = self.hierarchy
         access_instr = hierarchy.access_instr
+        access_instr_run = hierarchy.access_instr_run
         access_data = hierarchy.access_data
         module_stats = self.module_stats
 
@@ -88,12 +89,29 @@ class Machine:
         n_if = n_loads = n_stores = n_coher = 0
         walks_before = hierarchy.tlbs[core_id].walks
 
+        # Module-row lookup hoisted behind a last-module cache: traces
+        # are long single-module spans, so most events reuse `row`.
+        last_mod = -1
+        row: list[int] | None = None
         for kind, addr, mod in zip(trace.kinds, trace.addrs, trace.mods):
-            row = module_stats.get(mod)
-            if row is None:
-                row = [0] * _MODULE_FIELDS
-                module_stats[mod] = row
-            if kind == IFETCH:
+            if mod != last_mod:
+                row = module_stats.get(mod)
+                if row is None:
+                    row = [0] * _MODULE_FIELDS
+                    module_stats[mod] = row
+                last_mod = mod
+            if kind == IFETCH_RUN:
+                start, n_lines = addr
+                l1m, l2m, llcm = access_instr_run(core_id, start, n_lines)
+                n_if += n_lines
+                row[M_IFETCHES] += n_lines
+                if_l1m += l1m
+                row[M_IF_L1M] += l1m
+                if_l2m += l2m
+                row[M_IF_L2M] += l2m
+                if_llcm += llcm
+                row[M_IF_LLCM] += llcm
+            elif kind == IFETCH:
                 n_if += 1
                 row[M_IFETCHES] += 1
                 level = access_instr(core_id, addr)

@@ -10,6 +10,10 @@ way it does on real hardware.
 Event kinds are small ints so the hot loop stays cheap:
 
 * ``IFETCH`` — instruction-line fetch,
+* ``IFETCH_RUN`` — a run of consecutive instruction-line fetches kept
+  as one batched event (``addrs`` holds ``(start_line, n_lines)``);
+  the machine replays it through one ranged hierarchy call instead of
+  *n_lines* per-event dispatches — the replay-loop fast path,
 * ``DLOAD`` — data load whose latency the out-of-order core can overlap
   with other work (independent load),
 * ``DLOAD_SERIAL`` — data load on a dependence chain (pointer chasing
@@ -23,31 +27,44 @@ IFETCH = 0
 DLOAD = 1
 DSTORE = 2
 DLOAD_SERIAL = 3
+IFETCH_RUN = 4
 
-KIND_NAMES = {IFETCH: "ifetch", DLOAD: "dload", DSTORE: "dstore", DLOAD_SERIAL: "dload_serial"}
+KIND_NAMES = {
+    IFETCH: "ifetch",
+    DLOAD: "dload",
+    DSTORE: "dstore",
+    DLOAD_SERIAL: "dload_serial",
+    IFETCH_RUN: "ifetch_run",
+}
 
 
 class AccessTrace:
     """Append-only per-transaction access stream.
 
     The three parallel lists (``kinds``, ``addrs``, ``mods``) hold one
-    entry per cache-line touch.  ``instructions``/``branches``/
-    ``mispredicts`` are accumulated per module id as dense dicts.
+    entry per *event*.  Most events are single cache-line touches; an
+    ``IFETCH_RUN`` event covers a whole run of consecutive instruction
+    lines and stores ``(start_line, n_lines)`` in its ``addrs`` slot.
+    ``len(trace)`` always counts cache-line touches, not events.
+    ``instructions``/``branches``/``mispredicts`` are accumulated per
+    module id as dense dicts.
     """
 
     __slots__ = (
         "kinds", "addrs", "mods", "instr_by_module", "base_by_module",
-        "branches", "mispredicts",
+        "branches", "mispredicts", "_run_extra",
     )
 
     def __init__(self) -> None:
         self.kinds: list[int] = []
-        self.addrs: list[int] = []
+        self.addrs: list = []
         self.mods: list[int] = []
         self.instr_by_module: dict[int, int] = {}
         self.base_by_module: dict[int, float] = {}
         self.branches: int = 0
         self.mispredicts: int = 0
+        # Line touches beyond one per event (from IFETCH_RUN batching).
+        self._run_extra: int = 0
 
     # -- appending ---------------------------------------------------------
 
@@ -57,13 +74,19 @@ class AccessTrace:
         self.mods.append(module)
 
     def ifetch_run(self, start_line: int, n_lines: int, module: int) -> None:
-        """Fetch *n_lines* consecutive instruction lines starting at *start_line*."""
-        kinds = self.kinds
-        addrs = self.addrs
-        mods = self.mods
-        kinds.extend([IFETCH] * n_lines)
-        addrs.extend(range(start_line, start_line + n_lines))
-        mods.extend([module] * n_lines)
+        """Fetch *n_lines* consecutive instruction lines starting at *start_line*.
+
+        Recorded as one batched event; the machine replays the whole run
+        through a single ranged hierarchy call.
+        """
+        if n_lines <= 1:
+            if n_lines == 1:
+                self.ifetch(start_line, module)
+            return
+        self.kinds.append(IFETCH_RUN)
+        self.addrs.append((start_line, n_lines))
+        self.mods.append(module)
+        self._run_extra += n_lines - 1
 
     def load(self, line_addr: int, module: int, *, serial: bool = False) -> None:
         self.kinds.append(DLOAD_SERIAL if serial else DLOAD)
@@ -117,7 +140,8 @@ class AccessTrace:
         return sum(self.base_by_module.values())
 
     def __len__(self) -> int:
-        return len(self.kinds)
+        """Number of cache-line touches (batched runs count every line)."""
+        return len(self.kinds) + self._run_extra
 
     def clear(self) -> None:
         """Reset for reuse on the next transaction (avoids reallocation)."""
@@ -128,7 +152,18 @@ class AccessTrace:
         self.base_by_module.clear()
         self.branches = 0
         self.mispredicts = 0
+        self._run_extra = 0
 
     def events(self):
-        """Iterate (kind, line_addr, module) tuples — test/debug helper."""
-        return zip(self.kinds, self.addrs, self.mods)
+        """Iterate (kind, line_addr, module) tuples — test/debug helper.
+
+        Batched ``IFETCH_RUN`` events are expanded back into per-line
+        ``IFETCH`` tuples, so consumers see the equivalent flat stream.
+        """
+        for kind, addr, mod in zip(self.kinds, self.addrs, self.mods):
+            if kind == IFETCH_RUN:
+                start, n_lines = addr
+                for line in range(start, start + n_lines):
+                    yield (IFETCH, line, mod)
+            else:
+                yield (kind, addr, mod)

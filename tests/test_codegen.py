@@ -113,14 +113,16 @@ class TestCodeWalker:
         t1, t2 = AccessTrace(), AccessTrace()
         walker.run_segment(t1, mod_id, 0.0, 0.5)
         walker.run_segment(t2, mod_id, 0.5, 1.0)
-        assert not set(t1.addrs) & set(t2.addrs)
+        lines1 = {addr for _, addr, _ in t1.events()}
+        lines2 = {addr for _, addr, _ in t2.events()}
+        assert not lines1 & lines2
 
     def test_loop_refetches_body(self):
         layout, walker, mod_id = self.make()
         t = AccessTrace()
         walker.loop(t, mod_id, 0.0, 0.1, iterations=5)
         assert len(t) == 5 * 102  # 10% of 1024 lines, five times
-        assert len(set(t.addrs)) == 102
+        assert len({addr for _, addr, _ in t.events()}) == 102
 
     def test_invalid_segment_rejected(self):
         layout, walker, mod_id = self.make()

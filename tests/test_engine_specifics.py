@@ -129,9 +129,9 @@ class TestDBMSMOptimisticMVCC:
         interpreted = build(DBMSM, compilation=False)
         assert compiled.compiled and not interpreted.compiled
         tc = compiled.execute("p", lambda txn: txn.read("t", 1))
-        code_c = sum(1 for k in tc.kinds if k == 0)
+        code_c = sum(1 for k, _, _ in tc.events() if k == 0)
         ti = interpreted.execute("p", lambda txn: txn.read("t", 1))
-        code_i = sum(1 for k in ti.kinds if k == 0)
+        code_i = sum(1 for k, _, _ in ti.events() if k == 0)
         assert code_i > code_c  # interpreter fetches more code
 
     def test_index_choice(self):
@@ -203,5 +203,5 @@ class TestHyPerCompilation:
         engine = build(HyPerEngine)
         trace = engine.execute("p", lambda txn: txn.read("t", 1))
         compiled = engine.compiled_module("p")
-        code_mods = {m for k, m in zip(trace.kinds, trace.mods) if k == 0}
+        code_mods = {m for k, _, m in trace.events() if k == 0}
         assert compiled in code_mods

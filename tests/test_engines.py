@@ -130,15 +130,15 @@ class TestTraces:
 
     def test_trace_has_instruction_and_data_events(self, engine):
         trace = engine.execute("p", lambda txn: txn.update("t", 1, "value", 2))
-        kinds = set(trace.kinds)
-        assert 0 in kinds           # IFETCH
+        kinds = {k for k, _, _ in trace.events()}
+        assert 0 in kinds           # IFETCH (events() expands batched runs)
         assert kinds & {1, 2, 3}    # data traffic
 
     def test_repeated_procedure_same_code_lines(self, engine):
         t1 = engine.execute("p", lambda txn: txn.read("t", 1))
-        code1 = {a for k, a in zip(t1.kinds, t1.addrs) if k == 0}
+        code1 = {a for k, a, _ in t1.events() if k == 0}
         t2 = engine.execute("p", lambda txn: txn.read("t", 1))
-        code2 = {a for k, a in zip(t2.kinds, t2.addrs) if k == 0}
+        code2 = {a for k, a, _ in t2.events() if k == 0}
         assert code1 == code2  # instruction locality across transactions
 
     def test_stats_track_commits_and_ops(self, engine):

@@ -130,3 +130,43 @@ class TestMultiCore:
         assert not tiny_machine.module_stats
         d = tiny_machine.run_trace(make_trace(loads=[1], instr=5))
         assert d.l1d_misses == 1  # cold again
+
+
+class TestBatchedIfetchRuns:
+    """The IFETCH_RUN fast path must be bit-identical to per-line replay."""
+
+    def test_batched_run_matches_expanded_ifetches(self):
+        import random
+
+        from repro.core.machine import Machine as FullMachine
+
+        rng = random.Random(7)
+        batched, expanded = AccessTrace(), AccessTrace()
+        for i in range(20):
+            start = rng.randrange(100_000)
+            n = rng.randrange(1, 700)
+            batched.ifetch_run(start, n, module=i % 3)
+            for line in range(start, start + n):
+                expanded.ifetch(line, i % 3)
+            for _ in range(15):
+                addr = 10**8 + rng.randrange(10**5)
+                serial = rng.random() < 0.5
+                store = rng.random() < 0.3
+                for t in (batched, expanded):
+                    t.store(addr, 1) if store else t.load(addr, 1, serial=serial)
+        for t in (batched, expanded):
+            t.retire(0, 1000, branches=10, mispredicts=2, base_cycles=400)
+        assert len(batched) == len(expanded)
+
+        m1, m2 = FullMachine(n_cores=2), FullMachine(n_cores=2)
+        d1 = m1.run_trace(batched, core_id=1)
+        d2 = m2.run_trace(expanded, core_id=1)
+        assert d1.as_dict() == d2.as_dict()
+        assert m1.module_stats == m2.module_stats
+        for c1, c2 in zip(m1.hierarchy.cores, m2.hierarchy.cores):
+            assert c1.l1i._sets == c2.l1i._sets
+            assert c1.l2._sets == c2.l2._sets
+        assert m1.hierarchy.llc._sets == m2.hierarchy.llc._sets
+        assert m1.hierarchy.cores[1].l1i.stats == m2.hierarchy.cores[1].l1i.stats
+        assert m1.hierarchy.cores[1].l2.stats == m2.hierarchy.cores[1].l2.stats
+        assert m1.hierarchy.llc.stats == m2.hierarchy.llc.stats

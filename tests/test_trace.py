@@ -6,6 +6,7 @@ from repro.core.trace import (
     DLOAD_SERIAL,
     DSTORE,
     IFETCH,
+    IFETCH_RUN,
 )
 
 
@@ -16,11 +17,26 @@ class TestAppending:
         assert trace.addrs == [10]
         assert trace.mods == [1]
 
-    def test_ifetch_run(self, trace):
+    def test_ifetch_run_batches(self, trace):
         trace.ifetch_run(100, 4, module=2)
-        assert trace.addrs == [100, 101, 102, 103]
-        assert all(k == IFETCH for k in trace.kinds)
+        assert trace.kinds == [IFETCH_RUN]
+        assert trace.addrs == [(100, 4)]
         assert len(trace) == 4
+        assert list(trace.events()) == [(IFETCH, line, 2) for line in (100, 101, 102, 103)]
+
+    def test_ifetch_run_of_one_is_plain_ifetch(self, trace):
+        trace.ifetch_run(7, 1, module=3)
+        trace.ifetch_run(9, 0, module=3)
+        assert trace.kinds == [IFETCH]
+        assert trace.addrs == [7]
+        assert len(trace) == 1
+
+    def test_clear_resets_run_batching(self, trace):
+        trace.ifetch_run(100, 4, module=2)
+        trace.clear()
+        assert len(trace) == 0
+        trace.ifetch(1, module=0)
+        assert len(trace) == 1
 
     def test_load_serial_flag(self, trace):
         trace.load(5, 0)
