@@ -2,16 +2,19 @@
 
 Usage::
 
-    python -m repro.bench fig1 [fig2 ...] [--quick] [--jobs N]
+    python -m repro.bench fig1 [fig2 ...] [--quick] [--jobs N] [--obs]
     python -m repro.bench all --quick --jobs 4
     python -m repro.bench validate --quick    # audit every figure's shape
     python -m repro.bench chaos --quick       # fault-injection suite
     python -m repro.bench perf --quick        # simulator perf record
+    python -m repro.bench trace fig1 --out trace.json   # Perfetto trace
+    python -m repro.bench top fig1            # TMAM top-down report
     repro-bench table1
 
-``chaos``, ``validate`` and ``perf`` are proper subcommands with their
-own options; mixing them with figure ids is rejected with a clear
-message instead of falling through to the figure registry.
+``chaos``, ``validate``, ``perf``, ``trace`` and ``top`` are proper
+subcommands with their own options; mixing them with figure ids is
+rejected with a clear message instead of falling through to the figure
+registry.
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ from pathlib import Path
 from repro.bench.figures import ALL_IDS, run_figure
 from repro.bench.report import render_figure
 
-SUBCOMMANDS = ("chaos", "validate", "perf")
+SUBCOMMANDS = ("chaos", "validate", "perf", "trace", "top")
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -137,6 +140,134 @@ def _perf_main(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
+def _collect_obs_buffers(panels) -> list:
+    """Per-repetition event buffers from figure panels, in seed order.
+
+    One buffer per (panel, cell, repetition) — buffers keep their own
+    clocks, so the exporter gives each its own pid and timestamp
+    monotonicity holds per lane.
+    """
+    buffers = []
+    for panel in panels:
+        for (system, x), result in panel.cells.items():
+            for rep, events in enumerate(result.obs_buffers):
+                label = f"{panel.figure_id} {system} {panel.x_label}={x} rep{rep}"
+                buffers.append((label, events))
+    return buffers
+
+
+def _trace_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench trace",
+        description=(
+            "Run a figure with span tracing enabled and export a Chrome "
+            "trace-event JSON (open in https://ui.perfetto.dev or "
+            "chrome://tracing)."
+        ),
+    )
+    parser.add_argument("figure", help=f"figure id ({', '.join(ALL_IDS)})")
+    parser.add_argument("--quick", action="store_true", help="reduced budgets")
+    _add_jobs_argument(parser)
+    parser.add_argument(
+        "--out", type=Path, default=Path("trace.json"),
+        help="Chrome trace-event output path (default: trace.json)",
+    )
+    parser.add_argument(
+        "--jsonl", type=Path, default=None, help="also write a flat JSONL event log"
+    )
+    parser.add_argument(
+        "--prom", type=Path, default=None,
+        help="also write a Prometheus textfile snapshot of the metrics registry",
+    )
+    args = parser.parse_args(argv)
+
+    from repro import obs
+    from repro.bench.parallel import using_jobs
+    from repro.obs.exporters import (
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_jsonl,
+        write_prometheus,
+    )
+
+    with obs.using_obs(True):
+        with using_jobs(_resolve_jobs(args.jobs)):
+            try:
+                output = run_figure(args.figure, quick=args.quick)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                return 2
+        stray = obs.drain_events()
+    panels = output if isinstance(output, list) else []
+    buffers = _collect_obs_buffers(panels)
+    if stray:
+        buffers.append(("harness", stray))
+    if not buffers:
+        print(f"{args.figure} produced no span events (nothing to trace)", file=sys.stderr)
+        return 1
+
+    doc = write_chrome_trace(args.out, buffers)
+    n_events = sum(len(events) for _, events in buffers)
+    cats = sorted({e.cat for _, events in buffers for e in events})
+    problems = validate_chrome_trace(doc)
+    print(
+        f"wrote {args.out}: {n_events} events, {len(buffers)} buffer(s), "
+        f"layers: {', '.join(cats)}"
+    )
+    if args.jsonl is not None:
+        print(f"wrote {args.jsonl}: {write_jsonl(args.jsonl, buffers)} lines")
+    if args.prom is not None:
+        snaps = [
+            r.obs_metrics
+            for panel in panels
+            for r in panel.cells.values()
+            if r.obs_metrics
+        ]
+        write_prometheus(args.prom, obs.merge_snapshots(*snaps))
+        print(f"wrote {args.prom}")
+    if problems:
+        for problem in problems:
+            print(f"trace validation: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _top_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench top",
+        description=(
+            "Regenerate figures and render the TMAM-style top-down cycle "
+            "attribution alongside the paper's stall breakdown."
+        ),
+    )
+    parser.add_argument("figures", nargs="+", help=f"figure ids ({', '.join(ALL_IDS)})")
+    parser.add_argument("--quick", action="store_true", help="reduced budgets")
+    _add_jobs_argument(parser)
+    args = parser.parse_args(argv)
+
+    from repro.bench.report import render_topdown
+
+    jobs = _resolve_jobs(args.jobs)
+    ids = ALL_IDS if "all" in args.figures else args.figures
+    status = 0
+    for figure_id in ids:
+        try:
+            output = run_figure(figure_id, quick=args.quick, jobs=jobs)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            status = 2
+            continue
+        if isinstance(output, str):
+            print(f"{figure_id} has no per-cell counters to attribute", file=sys.stderr)
+            continue
+        for panel in output:
+            print(render_figure(panel))
+            print()
+            print(render_topdown(panel))
+            print()
+    return status
+
+
 def _figures_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -157,6 +288,14 @@ def _figures_main(argv: list[str]) -> int:
         help="reduced budgets and a single repetition (tests / smoke runs)",
     )
     _add_jobs_argument(parser)
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help=(
+            "run with span tracing enabled (figure output is bit-identical; "
+            "a span-count note goes to stderr)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     mixed = sorted(set(args.figures) & set(SUBCOMMANDS))
@@ -168,13 +307,20 @@ def _figures_main(argv: list[str]) -> int:
         )
         return 2
 
+    from contextlib import nullcontext
+
+    from repro import obs
+
     jobs = _resolve_jobs(args.jobs)
     ids = ALL_IDS if "all" in args.figures else args.figures
     status = 0
     for figure_id in ids:
         started = time.time()
         try:
-            output = run_figure(figure_id, quick=args.quick, jobs=jobs)
+            # Figure output is bit-identical with or without --obs; the
+            # span tally goes to stderr so stdout stays comparable.
+            with obs.using_obs(True) if args.obs else nullcontext():
+                output = run_figure(figure_id, quick=args.quick, jobs=jobs)
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             status = 2
@@ -185,6 +331,14 @@ def _figures_main(argv: list[str]) -> int:
             for panel in output:
                 print(render_figure(panel))
                 print()
+            if args.obs:
+                n_spans = sum(
+                    len(events)
+                    for panel in output
+                    for r in panel.cells.values()
+                    for events in r.obs_buffers
+                )
+                print(f"[{figure_id}: {n_spans} span events recorded]", file=sys.stderr)
         print(f"[{figure_id} regenerated in {time.time() - started:.1f}s]")
         print()
     return status
@@ -196,11 +350,14 @@ def main(argv: list[str] | None = None) -> int:
     if first_positional in SUBCOMMANDS:
         rest = list(argv)
         rest.remove(first_positional)
-        if first_positional == "chaos":
-            return _chaos_main(rest)
-        if first_positional == "validate":
-            return _validate_main(rest)
-        return _perf_main(rest)
+        dispatch = {
+            "chaos": _chaos_main,
+            "validate": _validate_main,
+            "perf": _perf_main,
+            "trace": _trace_main,
+            "top": _top_main,
+        }
+        return dispatch[first_positional](rest)
     return _figures_main(argv)
 
 

@@ -35,6 +35,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
+from repro import obs
 from repro.bench.runner import (
     RunResult,
     RunSpec,
@@ -118,9 +119,18 @@ def using_jobs(jobs: int | None) -> Iterator[int]:
 # -- execution ---------------------------------------------------------------
 
 
-def _run_rep(task: tuple[RunSpec, Any, int]) -> RunResult:
-    """Worker entry point: one repetition of one cell."""
-    spec, workload_factory, seed = task
+def _run_rep(task: tuple[RunSpec, Any, int, bool]) -> RunResult:
+    """Worker entry point: one repetition of one cell.
+
+    The trailing flag carries the parent's observability state into
+    worker processes (module globals do not cross the fork/spawn);
+    events stay in the repetition's ``RunResult.obs_buffers`` either
+    way, so results are bit-identical with tracing on or off.
+    """
+    spec, workload_factory, seed, obs_on = task
+    if obs_on and not obs.enabled():
+        with obs.using_obs(True):
+            return run_repetition(spec, workload_factory, seed)
     return run_repetition(spec, workload_factory, seed)
 
 
@@ -143,12 +153,13 @@ def run_cells(cells: Sequence[CellTask], jobs: int | None = None) -> list[RunRes
     produce bit-identical :class:`RunResult` values.
     """
     n_jobs = get_jobs() if jobs is None else max(1, jobs)
-    tasks: list[tuple[RunSpec, Any, int]] = []
+    obs_on = obs.enabled()
+    tasks: list[tuple[RunSpec, Any, int, bool]] = []
     rep_slices: list[tuple[int, int]] = []
     for cell in cells:
         start = len(tasks)
         for rep in range(cell.spec.repetitions):
-            tasks.append((cell.spec, cell.workload, cell.spec.rep_seed(rep)))
+            tasks.append((cell.spec, cell.workload, cell.spec.rep_seed(rep), obs_on))
         rep_slices.append((start, len(tasks)))
 
     parallel = (
@@ -175,7 +186,7 @@ def map_repetitions(
     n_jobs = get_jobs() if jobs is None else max(1, jobs)
     seeds = [spec.rep_seed(rep) for rep in range(spec.repetitions)]
     if n_jobs > 1 and len(seeds) > 1 and _picklable(workload_factory):
-        tasks = [(spec, workload_factory, seed) for seed in seeds]
+        tasks = [(spec, workload_factory, seed, obs.enabled()) for seed in seeds]
         with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
             return list(pool.map(_run_rep, tasks, chunksize=1))
     return [run_repetition(spec, workload_factory, seed) for seed in seeds]

@@ -21,8 +21,10 @@ regression — the CI gate for the replay fast path.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import random
+import subprocess
 import time
 from pathlib import Path
 
@@ -103,6 +105,34 @@ def bench_figure_sweep(figures: list[str], *, jobs: int | None = None) -> dict:
     return {"figures": figures, "jobs": jobs or 1, "wall_s": elapsed}
 
 
+def _git_sha() -> str | None:
+    """The repository HEAD, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def provenance() -> dict:
+    """Who/where/what produced a record, so BENCH trajectories are
+    attributable (same-machine comparisons only, commit lookup)."""
+    return {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+    }
+
+
 def collect_record(*, quick: bool = False, jobs: int | None = None) -> dict:
     """Run every perf bench and assemble one dated record."""
     replay = bench_replay_events_per_sec(min_seconds=0.25 if quick else 0.5)
@@ -116,6 +146,7 @@ def collect_record(*, quick: bool = False, jobs: int | None = None) -> dict:
         "quick": quick,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "provenance": provenance(),
         "replay": replay,
         "engine": engine,
         "figure_sweep": sweep,

@@ -69,6 +69,44 @@ def _render_stalls(figure: FigureResult) -> str:
     return "\n".join(lines)
 
 
+def render_topdown(figure: FigureResult) -> str:
+    """TMAM-style top-down attribution for every cell of a figure.
+
+    Rendered alongside the paper's six-way stall split (``repro-bench
+    top <fig>``): the four level-1 slots sum to 100% of elapsed cycles,
+    with backend-bound split into memory/core at level 2.
+    """
+    from repro.obs.topdown import topdown
+
+    sys_width = max(len(s) for s in figure.systems + ["system"]) + 1
+    x_width = max(len(x) for x in figure.x_values + [figure.x_label]) + 1
+    col = 10
+    head = (
+        f"{'system':<{sys_width}}{figure.x_label:<{x_width}}"
+        + "".join(
+            f"{label:>{col}}"
+            for label in ("retiring", "bad-spec", "frontend", "backend", "(mem", "core)")
+        )
+    )
+    lines = [
+        "top-down attribution (% of elapsed cycles; TMAM level 1, backend split)",
+        head,
+    ]
+    for system in figure.systems:
+        for x in figure.x_values:
+            r = figure.result(system, x)
+            td = topdown(r.counters, r.server)
+            cells = "".join(
+                f"{100.0 * v:>{col}.1f}"
+                for v in (
+                    td.retiring, td.bad_speculation, td.frontend_bound,
+                    td.backend_bound, td.memory_bound, td.core_bound,
+                )
+            )
+            lines.append(f"{system:<{sys_width}}{x:<{x_width}}{cells}")
+    return "\n".join(lines)
+
+
 def render_summary_line(figure: FigureResult) -> str:
     """One-line digest (used by the benchmark harness logs)."""
     spans = []

@@ -29,6 +29,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.core.counters import PerfCounters
 from repro.core.cpu import DEFAULT_OVERLAP, OverlapModel
 from repro.core.machine import Machine
@@ -113,6 +114,12 @@ class RunResult:
     module_groups: dict[str, str]
     server: ServerSpec
     measured_txns: int
+    # Observability payloads (empty unless tracing was enabled for the
+    # run): one span-event list per repetition, in seed order, and the
+    # merged metrics snapshot.  Deliberately excluded from result
+    # fingerprints — measurements are bit-identical with or without.
+    obs_buffers: list = field(default_factory=list)
+    obs_metrics: dict = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -224,11 +231,18 @@ def run_repetition(spec: RunSpec, workload_factory, seed: int) -> RunResult:
                 )
         return txns
 
-    run_phase(spec.warmup_events, MIN_WARMUP_TXNS)
-    profiler = Profiler(machine)
-    profiler.start_window()
-    measured_txns = run_phase(spec.measure_events, MIN_MEASURED_TXNS)
-    window = profiler.end_window()
+    obs_mark = obs.mark()
+    with obs.span(
+        "repetition", track="harness", cat="harness", system=spec.system, seed=seed
+    ) as rep_span:
+        with obs.span("warmup", track="harness", cat="harness"):
+            run_phase(spec.warmup_events, MIN_WARMUP_TXNS)
+        profiler = Profiler(machine)
+        profiler.start_window()
+        with obs.span("measure", track="harness", cat="harness"):
+            measured_txns = run_phase(spec.measure_events, MIN_MEASURED_TXNS)
+        window = profiler.end_window()
+        rep_span.set(measured_txns=measured_txns)
 
     # Per-worker average, as the paper reports multi-threaded runs —
     # but measured_txns stays the true total committed count across all
@@ -247,6 +261,10 @@ def run_repetition(spec: RunSpec, workload_factory, seed: int) -> RunResult:
         module_groups=groups,
         server=spec.server,
         measured_txns=measured_txns,
+        # Each repetition ships its own event buffer (one process, one
+        # clock) so merged traces keep per-buffer timestamp monotonicity.
+        obs_buffers=[obs.drain_events(obs_mark)] if obs.enabled() else [],
+        obs_metrics=obs.drain_metrics(),
     )
 
 
@@ -261,12 +279,17 @@ def aggregate_repetitions(spec: RunSpec, rep_results: list[RunResult]) -> RunRes
     module_cycles: dict[str, float] = {}
     module_groups: dict[str, str] = {}
     measured_txns = 0
+    obs_buffers: list = []
+    metric_snaps: list[dict] = []
     for rep_result in rep_results:
         total.add(rep_result.counters)
         measured_txns += rep_result.measured_txns
         for name, cycles in rep_result.module_cycles.items():
             module_cycles[name] = module_cycles.get(name, 0.0) + cycles
         module_groups.update(rep_result.module_groups)
+        obs_buffers.extend(rep_result.obs_buffers)
+        if rep_result.obs_metrics:
+            metric_snaps.append(rep_result.obs_metrics)
     return RunResult(
         system=spec.system,
         counters=total,
@@ -274,6 +297,8 @@ def aggregate_repetitions(spec: RunSpec, rep_results: list[RunResult]) -> RunRes
         module_groups=module_groups,
         server=spec.server,
         measured_txns=measured_txns,
+        obs_buffers=obs_buffers,
+        obs_metrics=obs.merge_snapshots(*metric_snaps) if metric_snaps else {},
     )
 
 

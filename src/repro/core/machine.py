@@ -13,6 +13,7 @@ written with local-variable bindings and minimal indirection on purpose.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.counters import PerfCounters
 from repro.core.cpu import DEFAULT_OVERLAP, CycleModel, OverlapModel
 from repro.core.hierarchy import L1, L2, MEMORY, MemoryHierarchy
@@ -78,6 +79,11 @@ class Machine:
         still hit the caches — wasted work is real work — but it must
         not inflate per-transaction metrics).
         """
+        # Observability fast path: one null-check here, one complete()
+        # below — no context-manager frame in the replay loop.
+        _tracer = obs.tracer()
+        _t0 = _tracer.clock() if _tracer is not None else 0
+
         hierarchy = self.hierarchy
         access_instr = hierarchy.access_instr
         access_instr_run = hierarchy.access_instr_run
@@ -175,6 +181,13 @@ class Machine:
             row[M_INSTR] += instrs
             row[M_BASE_CYCLES] += trace.base_by_module.get(mod, instrs * self.spec.base_cpi)
         self.counters[core_id].add(delta)
+        if _tracer is not None:
+            _tracer.complete(
+                "replay", f"core{core_id}", "core", _t0,
+                events=len(trace.kinds),
+                instructions=delta.instructions,
+                cycles=delta.cycles,
+            )
         return delta
 
     # -- module attribution --------------------------------------------------

@@ -19,6 +19,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.codegen.layout import CodeLayout
 from repro.codegen.module import CodeModule
 from repro.codegen.walker import CodeWalker
@@ -169,6 +170,10 @@ class Engine(ABC):
     system = "abstract"
     default_index_kind = "btree"
     is_partitioned = False
+    # Name of the span covering Transaction construction in execute():
+    # interpreted engines parse and plan per statement; compiled engines
+    # (HyPer, DBMS-M in compiled mode) override with "compile".
+    begin_phase = "parse_plan"
     # Distinct lines an in-node B-tree search touches (None = the full
     # binary-search path); commercial trees with prefix truncation keep
     # the search within the first lines of the page.
@@ -315,34 +320,55 @@ class Engine(ABC):
         trace.clear()
         attempts = 0
         stats = self.stats
-        while True:
-            txn = self.begin(trace, procedure)
-            try:
-                if self.injector is not None:
-                    self.injector.fire("txn.body", procedure=procedure, txn_id=txn.txn_id)
-                body(txn)
-                txn.commit()  # may abort (OCC validation failure)
-            except TransactionAborted as exc:
-                if not txn.done:
+        track = f"worker{core_id}" if obs.enabled() else ""
+        with obs.span(
+            "execute_txn", track=track, cat="engine", system=self.system, procedure=procedure
+        ) as txn_span:
+            while True:
+                with obs.span(self.begin_phase, track=track, cat="engine"):
+                    txn = self.begin(trace, procedure)
+                try:
+                    if self.injector is not None:
+                        self.injector.fire("txn.body", procedure=procedure, txn_id=txn.txn_id)
+                    with obs.span("execute", track=track, cat="engine"):
+                        body(txn)
+                    with obs.span("commit", track=track, cat="engine"):
+                        txn.commit()  # may abort (OCC validation failure)
+                except TransactionAborted as exc:
+                    reason = getattr(exc, "reason", AbortReason.UNSPECIFIED)
+                    with obs.span("rollback", track=track, cat="engine", reason=reason):
+                        if not txn.done:
+                            txn.abort()
+                    stats.record_abort(procedure, reason)
+                    obs.inc("engine.aborts", system=self.system, reason=reason)
+                    attempts += 1
+                    if attempts > self.config.max_retries:
+                        stats.retries_exhausted += 1
+                        self.last_outcome = RETRIES_EXHAUSTED
+                        txn_span.set(outcome=RETRIES_EXHAUSTED, attempts=attempts)
+                        obs.inc("engine.retries_exhausted", system=self.system)
+                        return trace
+                    backoff = min(BACKOFF_BASE_CYCLES * 2 ** (attempts - 1), BACKOFF_CAP_CYCLES)
+                    stats.record_retry(procedure, backoff)
+                    obs.annotate(
+                        "backoff", track=track, cat="engine",
+                        attempt=attempts, cycles=backoff,
+                    )
+                    obs.observe("engine.backoff_cycles", backoff, system=self.system)
+                    continue
+                except UserAbort:
                     txn.abort()
-                stats.record_abort(procedure, getattr(exc, "reason", AbortReason.UNSPECIFIED))
-                attempts += 1
-                if attempts > self.config.max_retries:
-                    stats.retries_exhausted += 1
-                    self.last_outcome = RETRIES_EXHAUSTED
+                    stats.record_abort(procedure, AbortReason.USER)
+                    stats.user_aborts += 1
+                    self.last_outcome = USER_ABORTED
+                    txn_span.set(outcome=USER_ABORTED, attempts=attempts + 1)
+                    obs.inc("engine.user_aborts", system=self.system)
                     return trace
-                backoff = min(BACKOFF_BASE_CYCLES * 2 ** (attempts - 1), BACKOFF_CAP_CYCLES)
-                stats.record_retry(procedure, backoff)
-                continue
-            except UserAbort:
-                txn.abort()
-                stats.record_abort(procedure, AbortReason.USER)
-                stats.user_aborts += 1
-                self.last_outcome = USER_ABORTED
+                stats.record_commit(procedure)
+                self.last_outcome = COMMITTED
+                txn_span.set(outcome=COMMITTED, attempts=attempts + 1)
+                obs.inc("engine.commits", system=self.system, procedure=procedure)
                 return trace
-            stats.record_commit(procedure)
-            self.last_outcome = COMMITTED
-            return trace
 
     def _new_txn_id(self) -> int:
         txn_id = self._next_txn_id

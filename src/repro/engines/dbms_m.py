@@ -272,6 +272,7 @@ class DBMSM(Engine):
         # Committed after-images by (table, row_id): updates live in the
         # version store, not the heap, so the committed view needs a map.
         self._row_images: dict[tuple[str, int], tuple] = {}
+        self.begin_phase = "compile" if self.compiled else "parse_plan"
 
     @property
     def compiled(self) -> bool:

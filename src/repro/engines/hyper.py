@@ -184,6 +184,7 @@ class HyPerEngine(Engine):
     system = "HyPer"
     default_index_kind = ART
     is_partitioned = True
+    begin_phase = "compile"
 
     def __init__(self, config: EngineConfig | None = None) -> None:
         super().__init__(config)

@@ -206,6 +206,7 @@ class VoltDBEngine(Engine):
     system = "VoltDB"
     default_index_kind = CC_BTREE
     is_partitioned = True
+    begin_phase = "plan_dispatch"
     # "node size tuned to the last-level cache line size" [26]
     default_node_bytes = 512
 

@@ -32,6 +32,7 @@ import random
 import zlib
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.engines.base import COMMITTED, EngineStats
 from repro.engines.config import EngineConfig
 from repro.engines.registry import ALL_SYSTEMS, canonical_name, make_engine
@@ -204,13 +205,23 @@ class ChaosRunner:
         attempted: int,
     ):
         """The restart path: torn log -> replay -> restore -> verify."""
-        total.merge(engine.stats)
-        image = engine.recovery_log().crash_image(fault_rng)
-        state = replay(image)
-        fresh, fresh_log = self._fresh_engine()
-        restore_engine(state, fresh)
-        problems = verify_against_engine(state, fresh)
-        problems.extend(self._workload_invariants(fresh))
+        with obs.span(
+            "chaos.recover", track="chaos", cat="faults",
+            point=crash.point, hit=crash.hit, txn_index=attempted,
+        ) as recover_span:
+            total.merge(engine.stats)
+            image = engine.recovery_log().crash_image(fault_rng)
+            state = replay(image)
+            fresh, fresh_log = self._fresh_engine()
+            restore_engine(state, fresh)
+            problems = verify_against_engine(state, fresh)
+            problems.extend(self._workload_invariants(fresh))
+            recover_span.set(
+                lost_records=image.lost_records,
+                torn_tail=image.torn_tail,
+                problems=len(problems),
+            )
+            obs.inc("chaos.recoveries", system=self.spec.system)
         report = CrashReport(
             txn_index=attempted,
             point=crash.point,
@@ -234,6 +245,15 @@ class ChaosRunner:
     # -- the run -------------------------------------------------------------
 
     def run(self) -> ChaosResult:
+        with obs.span(
+            "chaos.run", track="chaos", cat="faults",
+            system=self.spec.system, workload=self.workload.name,
+        ) as run_span:
+            result = self._run()
+            run_span.set(attempted=result.attempted, crashes=len(result.crashes), ok=result.ok)
+            return result
+
+    def _run(self) -> ChaosResult:
         spec = self.spec
         fault_rng = random.Random(spec.seed)
         txn_rng = random.Random(spec.seed + 1)

@@ -25,6 +25,7 @@ import random
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from repro import obs
 from repro.engines.base import AbortReason, TransactionAborted
 
 # -- injection points --------------------------------------------------------
@@ -157,6 +158,12 @@ class FaultInjector:
             if self._remaining[i] > 0:
                 self._remaining[i] -= 1
             self.fired.append(FiredFault(point, hit, spec.kind))
+            # A Perfetto trace shows each injection inline with the
+            # recovery work it causes.
+            obs.annotate(
+                "fault." + spec.kind, track="chaos", cat="faults", point=point, hit=hit
+            )
+            obs.inc("faults.fired", point=point, kind=spec.kind)
             if spec.kind == CRASH:
                 # The process is dead: never fire again on this injector.
                 self.armed = False

@@ -1,0 +1,39 @@
+"""Trace validator CLI: ``python -m repro.obs validate trace.json``.
+
+Exits non-zero when the file fails the Chrome trace-event schema check
+(used by the CI smoke job after ``repro-bench trace fig1 --quick``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.exporters import validate_trace_file
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs")
+    sub = parser.add_subparsers(dest="command", required=True)
+    val = sub.add_parser("validate", help="validate a Chrome trace-event JSON file")
+    val.add_argument("trace", help="path to the trace file")
+    val.add_argument(
+        "--expect-cats",
+        default="",
+        help="comma-separated categories that must appear (e.g. engine,storage,core)",
+    )
+    args = parser.parse_args(argv)
+
+    expect = tuple(c for c in args.expect_cats.split(",") if c)
+    problems = validate_trace_file(args.trace, expect_cats=expect)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{args.trace}: INVALID ({len(problems)} problem(s))", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: valid Chrome trace-event JSON")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

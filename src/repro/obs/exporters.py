@@ -1,0 +1,229 @@
+"""Exporters: Chrome trace-event JSON (Perfetto), JSONL, Prometheus text.
+
+The Chrome trace-event exporter is the centrepiece: the emitted file
+loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  Layout convention:
+
+* one *process* (pid) per event buffer — a buffer is one repetition's
+  events from one worker process, so timestamps within it come from a
+  single monotonic clock;
+* one *thread* (tid) per track within a buffer (``core0``..``coreN``
+  for simulated cores, ``worker0``.. for engine workers, plus ``wal``,
+  ``locks``, ``recovery``, ``chaos``, ``harness``), named via ``M``
+  metadata events.
+
+Buffers must be supplied in deterministic (seed) order; pids and tids
+are assigned by first appearance so the same run always exports the
+same file modulo timestamps.
+
+``validate_chrome_trace`` is the schema check the CI smoke job runs:
+structural validity, known phases, integer pid/tid, non-negative
+timestamps/durations, and per-(pid, tid) monotone start times.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.tracing import PHASE_COMPLETE, PHASE_INSTANT, SpanEvent
+
+PHASE_METADATA = "M"
+KNOWN_PHASES = (PHASE_COMPLETE, PHASE_INSTANT, PHASE_METADATA)
+
+
+def chrome_trace(buffers: list[tuple[str, list[SpanEvent]]]) -> dict:
+    """Build a Chrome trace-event document from labelled event buffers."""
+    trace_events: list[dict] = []
+    for pid, (label, events) in enumerate(buffers):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": PHASE_METADATA,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        tids: dict[str, int] = {}
+        rows: list[dict] = []
+        for event in events:
+            tid = tids.get(event.track)
+            if tid is None:
+                tid = tids[event.track] = len(tids)
+                trace_events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": PHASE_METADATA,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": event.track},
+                    }
+                )
+            row = {
+                "name": event.name,
+                "cat": event.cat,
+                "ph": event.phase,
+                "pid": pid,
+                "tid": tid,
+                "ts": event.ts_us,
+            }
+            if event.phase == PHASE_COMPLETE:
+                row["dur"] = event.dur_us
+            if event.phase == PHASE_INSTANT:
+                row["s"] = "t"  # thread-scoped instant
+            if event.args:
+                row["args"] = dict(event.args)
+            rows.append(row)
+        # Spans are appended at *end* time; Perfetto wants start order,
+        # with enclosing spans before their children at equal ts.
+        rows.sort(key=lambda r: (r["ts"], -r.get("dur", 0.0)))
+        trace_events.extend(rows)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, buffers: list[tuple[str, list[SpanEvent]]]) -> dict:
+    doc = chrome_trace(buffers)
+    Path(path).write_text(json.dumps(doc, indent=None, separators=(",", ":")) + "\n")
+    return doc
+
+
+def write_jsonl(path: str | Path, buffers: list[tuple[str, list[SpanEvent]]]) -> int:
+    """Write one JSON object per event (a greppable flat log). Returns count."""
+    n = 0
+    with Path(path).open("w") as fh:
+        for label, events in buffers:
+            for event in events:
+                fh.write(
+                    json.dumps(
+                        {
+                            "buffer": label,
+                            "name": event.name,
+                            "track": event.track,
+                            "cat": event.cat,
+                            "ts_us": event.ts_us,
+                            "dur_us": event.dur_us,
+                            "phase": event.phase,
+                            "args": event.args,
+                        },
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+                n += 1
+    return n
+
+
+# -- Prometheus textfile -----------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    out = [c if (c.isalnum() or c == "_") else "_" for c in name]
+    if out and out[0].isdigit():
+        out.insert(0, "_")
+    return "".join(out)
+
+
+def _prom_labels(items: tuple, extra: dict | None = None) -> str:
+    pairs = [(k, v) for k, v in items] + sorted((extra or {}).items())
+    if not pairs:
+        return ""
+    body = ",".join(f'{_prom_name(k)}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render a MetricsRegistry snapshot in Prometheus exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for (name, labels), value in snapshot.get("counters", {}).items():
+        pname = _prom_name(name) + "_total"
+        header(pname, "counter")
+        lines.append(f"{pname}{_prom_labels(labels)} {value:g}")
+    for (name, labels), value in snapshot.get("gauges", {}).items():
+        pname = _prom_name(name)
+        header(pname, "gauge")
+        lines.append(f"{pname}{_prom_labels(labels)} {value:g}")
+    for (name, labels), data in snapshot.get("histograms", {}).items():
+        pname = _prom_name(name)
+        header(pname, "histogram")
+        cumulative = 0
+        for index in sorted(data["buckets"]):
+            cumulative += data["buckets"][index]
+            le = float((1 << index) - 1) if index > 0 else 0.0
+            lines.append(f"{pname}_bucket{_prom_labels(labels, {'le': f'{le:g}'})} {cumulative}")
+        lines.append(f"{pname}_bucket{_prom_labels(labels, {'le': '+Inf'})} {data['count']}")
+        lines.append(f"{pname}_sum{_prom_labels(labels)} {data['sum']:g}")
+        lines.append(f"{pname}_count{_prom_labels(labels)} {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path: str | Path, snapshot: dict) -> str:
+    text = prometheus_text(snapshot)
+    Path(path).write_text(text)
+    return text
+
+
+# -- validation --------------------------------------------------------------
+
+def validate_chrome_trace(doc, expect_cats: tuple[str, ...] = ()) -> list[str]:
+    """Check *doc* against the Chrome trace-event schema.
+
+    Returns a list of problems (empty = valid): structural shape, known
+    phases, integer pid/tid, numeric non-negative ts (and dur for ``X``
+    events), monotone start timestamps per (pid, tid) lane, and —
+    optionally — that every category in *expect_cats* appears.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["document must be an object with a 'traceEvents' list"]
+
+    last_ts: dict[tuple[int, int], float] = {}
+    cats_seen: set[str] = set()
+    for i, row in enumerate(doc["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = row.get("ph")
+        if phase not in KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(row.get("pid"), int) or not isinstance(row.get("tid"), int):
+            problems.append(f"{where}: pid/tid must be integers")
+            continue
+        if phase == PHASE_METADATA:
+            continue
+        ts = row.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number, got {ts!r}")
+            continue
+        if phase == PHASE_COMPLETE:
+            dur = row.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs non-negative dur, got {dur!r}")
+        lane = (row["pid"], row["tid"])
+        if ts < last_ts.get(lane, 0.0):
+            problems.append(
+                f"{where}: ts {ts} goes backwards on pid={lane[0]} tid={lane[1]}"
+            )
+        last_ts[lane] = ts
+        if "cat" in row:
+            cats_seen.add(row["cat"])
+    for cat in expect_cats:
+        if cat not in cats_seen:
+            problems.append(f"expected category {cat!r} absent from trace")
+    return problems
+
+
+def validate_trace_file(path: str | Path, expect_cats: tuple[str, ...] = ()) -> list[str]:
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot read trace: {exc}"]
+    return validate_chrome_trace(doc, expect_cats)

@@ -1,0 +1,145 @@
+"""Metrics registry: counters, gauges, and log-2-bucket histograms.
+
+Unifies the scattered ad-hoc counters (engine commit/abort tallies,
+fault-injector hit counts, WAL flush statistics) under one namespace
+so a single Prometheus textfile snapshot describes a whole run.
+
+Design constraints, in order:
+
+* **Determinism** — histograms use fixed power-of-two buckets (bucket
+  ``i`` counts observations with ``2**(i-1) < v <= 2**i - 1``, i.e.
+  ``int(v).bit_length() == i``), so the same simulated run yields the
+  same snapshot byte-for-byte regardless of host or timing.
+* **Picklability** — ``snapshot()``/``drain()`` return plain dicts of
+  plain types, so parallel workers ship their registries back to the
+  parent, which merges them in seed order.
+* **No dependencies** — stdlib only; importable before the rest of the
+  ``repro`` package finishes initialising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Values above 2**63 all land in the overflow bucket; simulated cycle
+# counts never get near it.
+MAX_BUCKET = 64
+
+LabelItems = tuple[tuple[str, str], ...]
+MetricKey = tuple[str, LabelItems]
+
+
+def _key(name: str, labels: dict[str, str] | None) -> MetricKey:
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+def bucket_index(value: float) -> int:
+    """Fixed log-2 bucket for *value* (negative/zero values share bucket 0)."""
+    v = int(value)
+    if v <= 0:
+        return 0
+    return min(v.bit_length(), MAX_BUCKET)
+
+
+@dataclass
+class Histogram:
+    """Deterministic log-2 histogram: counts per bucket plus sum/count."""
+
+    buckets: dict[int, int] = field(default_factory=dict)
+    sum: float = 0.0
+    count: int = 0
+
+    def observe(self, value: float) -> None:
+        i = bucket_index(value)
+        self.buckets[i] = self.buckets.get(i, 0) + 1
+        self.sum += value
+        self.count += 1
+
+    def merge(self, other: "Histogram") -> None:
+        for i, n in other.buckets.items():
+            self.buckets[i] = self.buckets.get(i, 0) + n
+        self.sum += other.sum
+        self.count += other.count
+
+    def upper_bound(self, index: int) -> float:
+        """Inclusive upper edge of bucket *index* (0 -> 0, i -> 2**i - 1)."""
+        if index <= 0:
+            return 0.0
+        return float((1 << index) - 1)
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms keyed by (name, sorted labels)."""
+
+    def __init__(self) -> None:
+        self.counters: dict[MetricKey, float] = {}
+        self.gauges: dict[MetricKey, float] = {}
+        self.histograms: dict[MetricKey, Histogram] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        key = _key(name, labels)
+        self.counters[key] = self.counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self.gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        key = _key(name, labels)
+        hist = self.histograms.get(key)
+        if hist is None:
+            hist = self.histograms[key] = Histogram()
+        hist.observe(value)
+
+    # -- shipping ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A picklable, mergeable copy of every metric."""
+        return {
+            "counters": {k: v for k, v in sorted(self.counters.items())},
+            "gauges": {k: v for k, v in sorted(self.gauges.items())},
+            "histograms": {
+                k: {"buckets": dict(sorted(h.buckets.items())), "sum": h.sum, "count": h.count}
+                for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    def drain(self) -> dict:
+        snap = self.snapshot()
+        self.clear()
+        return snap
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry."""
+        for key, value in snap.get("counters", {}).items():
+            self.counters[key] = self.counters.get(key, 0.0) + value
+        # Last write wins for gauges: snapshots are merged in seed order.
+        for key, value in snap.get("gauges", {}).items():
+            self.gauges[key] = value
+        for key, data in snap.get("histograms", {}).items():
+            hist = self.histograms.get(key)
+            if hist is None:
+                hist = self.histograms[key] = Histogram()
+            hist.merge(Histogram(buckets=dict(data["buckets"]), sum=data["sum"], count=data["count"]))
+
+
+def merge_snapshots(*snaps: dict) -> dict:
+    """Merge snapshots (in the order given) into one combined snapshot."""
+    registry = MetricsRegistry()
+    for snap in snaps:
+        if snap:
+            registry.merge_snapshot(snap)
+    return registry.snapshot()
+
+
+# The ambient registry that obs.inc/observe/set_gauge feed (when tracing
+# is enabled); drained per repetition alongside the span buffer.
+REGISTRY = MetricsRegistry()

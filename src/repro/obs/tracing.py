@@ -1,0 +1,207 @@
+"""Lightweight nested span tracing (the repo-wide observability spine).
+
+The rest of the codebase reports into this module through three calls:
+
+* ``obs.span("execute_txn", track="worker0", cat="engine", **args)`` —
+  a context manager recording one *complete* span (Chrome trace-event
+  phase ``X``) with wall-clock start and duration;
+* ``obs.annotate("fault.crash", ...)`` — an *instant* event (phase
+  ``i``), used for point-in-time facts such as fault injections;
+* ``Tracer.complete(...)`` — the allocation-free fast path for hot
+  call sites (the replay loop records one span per transaction without
+  a context-manager frame).
+
+Tracing is **off by default and zero-cost when off**: the module-level
+``span``/``annotate`` helpers check one global and return a shared
+no-op handle, so instrumented code pays a function call and a branch —
+nothing is allocated, no clock is read, and simulation results are
+bit-identical either way (spans never touch RNG state, traces, or
+counters).
+
+Tracks are plain strings (``core0``, ``worker1``, ``wal``,
+``recovery``, ``chaos``, ``harness``).  Within one process every track
+is driven by a single thread, so spans on a track are properly nested
+and their timestamps monotone; per-process buffers collected from
+parallel workers are kept separate (one Chrome ``pid`` per buffer) so
+the monotonicity guarantee survives merging.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+PHASE_COMPLETE = "X"
+PHASE_INSTANT = "i"
+
+
+@dataclass
+class SpanEvent:
+    """One recorded event (picklable: crosses process boundaries)."""
+
+    name: str
+    track: str
+    cat: str
+    ts_us: float
+    dur_us: float = 0.0
+    phase: str = PHASE_COMPLETE
+    args: dict = field(default_factory=dict)
+
+
+class Span:
+    """Live handle for an open span; ``set(**args)`` attaches metadata."""
+
+    __slots__ = ("_tracer", "name", "track", "cat", "args", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, track: str, cat: str, args: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.track = track
+        self.cat = cat
+        self.args = args
+        self._start_ns = 0
+
+    def set(self, **args) -> None:
+        self.args.update(args)
+
+    def __enter__(self) -> "Span":
+        self._start_ns = self._tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._finish(self)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing handle returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **args) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """An append-only buffer of span events with one monotonic clock."""
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self.clock = clock
+        self.epoch_ns = clock()
+        self.events: list[SpanEvent] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, track: str = "main", cat: str = "misc", **args) -> Span:
+        return Span(self, name, track, cat, args)
+
+    def instant(self, name: str, track: str = "main", cat: str = "misc", **args) -> None:
+        self.events.append(
+            SpanEvent(name, track, cat, self._us(self.clock()), 0.0, PHASE_INSTANT, args)
+        )
+
+    def complete(self, name: str, track: str, cat: str, start_ns: int, **args) -> None:
+        """Record a finished span from a raw start timestamp (hot path)."""
+        end_ns = self.clock()
+        self.events.append(
+            SpanEvent(
+                name, track, cat,
+                self._us(start_ns), (end_ns - start_ns) / 1000.0, PHASE_COMPLETE, args,
+            )
+        )
+
+    def _finish(self, span: Span) -> None:
+        end_ns = self.clock()
+        self.events.append(
+            SpanEvent(
+                span.name, span.track, span.cat,
+                self._us(span._start_ns), (end_ns - span._start_ns) / 1000.0,
+                PHASE_COMPLETE, span.args,
+            )
+        )
+
+    def _us(self, ns: int) -> float:
+        return (ns - self.epoch_ns) / 1000.0
+
+    # -- draining ------------------------------------------------------------
+
+    def mark(self) -> int:
+        return len(self.events)
+
+    def drain(self, mark: int = 0) -> list[SpanEvent]:
+        """Remove and return every event recorded at or after *mark*."""
+        drained = self.events[mark:]
+        del self.events[mark:]
+        return drained
+
+
+# -- ambient tracer ----------------------------------------------------------
+
+_ACTIVE: Tracer | None = None
+
+
+def tracer() -> Tracer | None:
+    """The active tracer, or None while tracing is disabled."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    return _ACTIVE is not None
+
+
+def enable() -> Tracer:
+    """Install (and return) a fresh ambient tracer."""
+    global _ACTIVE
+    _ACTIVE = Tracer()
+    return _ACTIVE
+
+
+def disable() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def using_obs(on: bool = True) -> Iterator[Tracer | None]:
+    """Scoped enable/disable; restores the previous state on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = Tracer() if on else None
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+def span(name: str, track: str = "main", cat: str = "misc", **args):
+    """Open a span on the ambient tracer (no-op handle when disabled)."""
+    t = _ACTIVE
+    return t.span(name, track, cat, **args) if t is not None else NOOP_SPAN
+
+
+def annotate(name: str, track: str = "main", cat: str = "misc", **args) -> None:
+    """Record an instant event on the ambient tracer (no-op when disabled)."""
+    t = _ACTIVE
+    if t is not None:
+        t.instant(name, track, cat, **args)
+
+
+def mark() -> int:
+    t = _ACTIVE
+    return t.mark() if t is not None else 0
+
+
+def drain_events(mark: int = 0) -> list[SpanEvent]:
+    t = _ACTIVE
+    return t.drain(mark) if t is not None else []

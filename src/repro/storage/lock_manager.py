@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro import obs
 from repro.core.trace import AccessTrace
 from repro.storage.address_space import DataAddressSpace
 from repro.storage.hash_index import fibonacci_hash
@@ -118,14 +119,22 @@ class LockManager:
         if held is not None and _upgradable(held, mode):
             entry.holders[txn_id] = _stronger(held, mode)
             self.acquisitions += 1
+            obs.inc("lock.acquisitions", manager=self.name)
             return
         for other_txn, other_mode in entry.holders.items():
             if other_txn != txn_id and not compatible(other_mode, mode):
                 self.conflicts += 1
+                obs.annotate(
+                    "lock.conflict", track="locks", cat="storage",
+                    resource=repr(resource), mode=mode.value,
+                    holder=other_txn, requester=txn_id,
+                )
+                obs.inc("lock.conflicts", manager=self.name)
                 raise LockConflict(resource, other_txn, txn_id)
         entry.holders[txn_id] = _stronger(held, mode) if held else mode
         self._held_by_txn.setdefault(txn_id, set()).add(resource)
         self.acquisitions += 1
+        obs.inc("lock.acquisitions", manager=self.name)
 
     def release_all(self, txn_id: int, trace: AccessTrace | None = None, mod: int = 0) -> int:
         """Release every lock held by *txn_id* (commit/abort); returns count."""

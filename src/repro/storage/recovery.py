@@ -36,6 +36,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.trace import AccessTrace
 from repro.storage.wal import LogRecord, RECORD_HEADER_BYTES, WriteAheadLog
 
@@ -149,40 +150,56 @@ def replay(log) -> RecoveredState:
             "log replay needs a retain_all=True WriteAheadLog: the default "
             "trims its in-memory tail after group commits"
         )
-    records, truncated = valid_prefix(log.records)
-    rows, inserted, deleted, carried, ckpt_lsn, tail = _load_checkpoint(records)
-    work = carried + tail
-    state = RecoveredState(
-        rows=rows,
-        inserted_keys=inserted,
-        deleted_keys=deleted,
-        txn_status=analyse(work),
-        truncated_records=truncated,
-        checkpoint_lsn=ckpt_lsn,
-    )
-    status = state.txn_status
-    clrs_by_txn: dict[int, list[LogRecord]] = {}
-    for record in work:
-        if record.kind == CHECKPOINT or record.payload is None:
-            continue
-        if status.get(record.txn_id) != COMMITTED:
-            state.skipped += 1
-            if record.kind == "clr" and status.get(record.txn_id) == IN_FLIGHT:
-                clrs_by_txn.setdefault(record.txn_id, []).append(record)
-            continue
-        _redo(state, record)
-    # Undo pass: a transaction that died mid-rollback left CLRs carrying
-    # the restore images it had already applied; re-applying them (in
-    # log order — ARIES redoes compensations forward) completes the
-    # rollback on the recovered state.
-    for clrs in clrs_by_txn.values():
-        for record in clrs:
-            _apply_clr(state, record)
-    state.active_records = [
-        r for r in work
-        if r.kind != CHECKPOINT and status.get(r.txn_id) == IN_FLIGHT
-    ]
-    return state
+    with obs.span("recovery.replay", track="recovery", cat="storage") as replay_span:
+        records, truncated = valid_prefix(log.records)
+        with obs.span("recovery.analysis", track="recovery", cat="storage") as analysis_span:
+            rows, inserted, deleted, carried, ckpt_lsn, tail = _load_checkpoint(records)
+            work = carried + tail
+            state = RecoveredState(
+                rows=rows,
+                inserted_keys=inserted,
+                deleted_keys=deleted,
+                txn_status=analyse(work),
+                truncated_records=truncated,
+                checkpoint_lsn=ckpt_lsn,
+            )
+            analysis_span.set(records=len(work), transactions=len(state.txn_status))
+        status = state.txn_status
+        clrs_by_txn: dict[int, list[LogRecord]] = {}
+        with obs.span("recovery.redo", track="recovery", cat="storage") as redo_span:
+            for record in work:
+                if record.kind == CHECKPOINT or record.payload is None:
+                    continue
+                if status.get(record.txn_id) != COMMITTED:
+                    state.skipped += 1
+                    if record.kind == "clr" and status.get(record.txn_id) == IN_FLIGHT:
+                        clrs_by_txn.setdefault(record.txn_id, []).append(record)
+                    continue
+                _redo(state, record)
+            redo_span.set(applied=state.redo_applied, skipped=state.skipped)
+        # Undo pass: a transaction that died mid-rollback left CLRs carrying
+        # the restore images it had already applied; re-applying them (in
+        # log order — ARIES redoes compensations forward) completes the
+        # rollback on the recovered state.
+        with obs.span("recovery.undo", track="recovery", cat="storage") as undo_span:
+            for clrs in clrs_by_txn.values():
+                for record in clrs:
+                    _apply_clr(state, record)
+            undo_span.set(applied=state.undo_applied)
+        state.active_records = [
+            r for r in work
+            if r.kind != CHECKPOINT and status.get(r.txn_id) == IN_FLIGHT
+        ]
+        replay_span.set(
+            truncated=truncated,
+            checkpoint_lsn=ckpt_lsn,
+            redo=state.redo_applied,
+            undo=state.undo_applied,
+        )
+        obs.inc("recovery.replays")
+        obs.inc("recovery.redo_applied", state.redo_applied)
+        obs.inc("recovery.undo_applied", state.undo_applied)
+        return state
 
 
 def _redo(state: RecoveredState, record: LogRecord) -> None:

@@ -25,6 +25,7 @@ import random
 import zlib
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.core.spec import CACHE_LINE_BYTES
 from repro.core.trace import AccessTrace
 from repro.storage.address_space import DataAddressSpace
@@ -127,6 +128,8 @@ class WriteAheadLog:
         payload: tuple | None = None,
     ) -> LogRecord:
         """Format a record into the buffer; returns it."""
+        _tracer = obs.tracer()
+        _t0 = _tracer.clock() if _tracer is not None else 0
         if payload_bytes < 0:
             raise ValueError(f"negative payload_bytes {payload_bytes}")
         size = _RECORD_HEADER_BYTES + payload_bytes
@@ -160,20 +163,31 @@ class WriteAheadLog:
             injector.fire(
                 _POINT_AFTER_APPEND, wal=self.name, kind=kind, txn_id=txn_id, lsn=record.lsn
             )
+        if _tracer is not None:
+            _tracer.complete(
+                "wal.append", "wal", "storage", _t0, wal=self.name, kind=kind, bytes=size
+            )
+            obs.inc("wal.appends", wal=self.name, kind=kind)
+            obs.observe("wal.record_bytes", size, wal=self.name)
         return record
 
     def _flush(self) -> None:
-        injector = self.injector
-        if injector is not None:
-            # A crash here loses the whole batch: flushed_lsn not advanced.
-            injector.fire(_POINT_GROUP_COMMIT, wal=self.name, batch=self._pending_commits)
-        self.flushed_lsn = self.next_lsn - 1
-        self._pending_commits = 0
-        self.flushes += 1
-        # Keep only an in-memory tail for inspection; a real log would
-        # hand the batch to the I/O daemon here.
-        if not self.retain_all and len(self.records) > 4 * self.group_commit_size:
-            del self.records[: -2 * self.group_commit_size]
+        with obs.span(
+            "wal.group_commit", track="wal", cat="storage",
+            wal=self.name, batch=self._pending_commits,
+        ):
+            injector = self.injector
+            if injector is not None:
+                # A crash here loses the whole batch: flushed_lsn not advanced.
+                injector.fire(_POINT_GROUP_COMMIT, wal=self.name, batch=self._pending_commits)
+            self.flushed_lsn = self.next_lsn - 1
+            self._pending_commits = 0
+            self.flushes += 1
+            obs.inc("wal.flushes", wal=self.name)
+            # Keep only an in-memory tail for inspection; a real log would
+            # hand the batch to the I/O daemon here.
+            if not self.retain_all and len(self.records) > 4 * self.group_commit_size:
+                del self.records[: -2 * self.group_commit_size]
 
     def force(self) -> None:
         """Synchronous flush (shutdown / checkpoint)."""

@@ -7,6 +7,7 @@ from repro.core.metrics import (
     COMPONENT_LABELS,
     STALL_COMPONENTS,
     StallBreakdown,
+    cycles_per_transaction,
     instructions_per_transaction,
     ipc,
     memory_stall_fraction,
@@ -82,6 +83,9 @@ class TestNormalisations:
     def test_instructions_per_transaction(self):
         assert instructions_per_transaction(sample_counters()) == pytest.approx(1000)
 
+    def test_cycles_per_transaction(self):
+        assert cycles_per_transaction(sample_counters()) == pytest.approx(2000)
+
     def test_memory_stall_fraction_top_down(self):
         # 1000 instr at ideal IPC 3 need ~333 cycles; 1000 elapsed
         # cycles mean ~2/3 of the time was stalled.
@@ -90,3 +94,35 @@ class TestNormalisations:
         assert memory_stall_fraction(PerfCounters()) == 0.0
         ideal = PerfCounters(instructions=3000, cycles=1000)
         assert memory_stall_fraction(ideal) == pytest.approx(0.0, abs=0.01)
+
+
+class TestZeroWindowGuards:
+    """A window with no retired work must yield zeros, never raise.
+
+    Regression sweep: empty profiler windows (e.g. a core that saw no
+    transactions) hit every derived metric with all-zero counters.
+    """
+
+    def test_every_derived_metric_survives_zero_counters(self):
+        zero = PerfCounters()
+        assert ipc(zero) == 0.0
+        assert zero.ipc == 0.0
+        assert instructions_per_transaction(zero) == 0.0
+        assert cycles_per_transaction(zero) == 0.0
+        assert memory_stall_fraction(zero) == 0.0
+        assert stalls_per_kilo_instruction(zero).total == 0
+        assert stalls_per_transaction(zero).total == 0
+        assert stall_breakdown(zero).total == 0
+
+    def test_misses_without_denominators(self):
+        # Pathological but reachable mid-warm-up: misses recorded while
+        # instructions/transactions are still zero in the window.
+        c = PerfCounters(l1i_misses=10, l1d_misses=5)
+        assert stalls_per_kilo_instruction(c).total == 0
+        assert stalls_per_transaction(c).total == 0
+        assert stall_breakdown(c).total > 0  # raw breakdown still counts
+
+    def test_transactions_without_cycles(self):
+        c = PerfCounters(transactions=3)
+        assert cycles_per_transaction(c) == 0.0
+        assert instructions_per_transaction(c) == 0.0

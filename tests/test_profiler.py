@@ -46,12 +46,32 @@ class TestWindows:
     def test_double_start_rejected(self, tiny_machine):
         prof = Profiler(tiny_machine)
         prof.start_window()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError, match="profiler window already open"):
             prof.start_window()
 
+    def test_nested_window_rejected_and_outer_still_usable(self, tiny_machine):
+        # An overlapping window is a methodology bug (double-counted
+        # cycles); the profiler must reject it without corrupting the
+        # outer window.
+        prof = Profiler(tiny_machine)
+        prof.start_window()
+        run_some(tiny_machine, n=2)
+        with pytest.raises(RuntimeError, match="profiler window already open"):
+            prof.start_window()
+        run_some(tiny_machine, n=1)
+        window = prof.end_window()
+        assert window.counters().transactions == 3
+
     def test_end_without_start_rejected(self, tiny_machine):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError, match="no profiler window open"):
             Profiler(tiny_machine).end_window()
+
+    def test_end_twice_rejected(self, tiny_machine):
+        prof = Profiler(tiny_machine)
+        prof.start_window()
+        prof.end_window()
+        with pytest.raises(RuntimeError, match="no profiler window open"):
+            prof.end_window()
 
     def test_attached_flag(self, tiny_machine):
         prof = Profiler(tiny_machine)
@@ -83,3 +103,26 @@ class TestPerCoreFiltering:
         window = prof.end_window()
         mean = window.mean_core_counters()
         assert mean.transactions == 3
+
+    def test_mean_core_counters_empty_core_list(self):
+        # An explicit empty selection (no workers matched a filter) must
+        # return all-zero counters, not divide by zero.
+        m = Machine(TINY_SERVER, n_cores=2)
+        prof = Profiler(m)
+        prof.start_window()
+        run_some(m, n=2, core=0)
+        window = prof.end_window()
+        mean = window.mean_core_counters([])
+        assert mean.transactions == 0
+        assert mean.instructions == 0
+        assert mean.cycles == 0
+
+    def test_counters_subset_is_sum_not_mean(self):
+        m = Machine(TINY_SERVER, n_cores=2)
+        prof = Profiler(m)
+        prof.start_window()
+        run_some(m, n=2, core=0)
+        run_some(m, n=4, core=1)
+        window = prof.end_window()
+        assert window.counters([0, 1]).transactions == 6
+        assert window.mean_core_counters([1]).transactions == 4
