@@ -67,6 +67,15 @@ def _chaos_main(argv: list[str]) -> int:
     parser.add_argument("--seed", type=int, default=1, help="fault-schedule seed")
     parser.add_argument("--txns", type=int, default=None, help="transactions per run")
     parser.add_argument("--crashes", type=int, default=None, help="crashes per run")
+    parser.add_argument(
+        "--replicas", type=int, default=0,
+        help="WAL-shipping replicas per run (0 = replication off)",
+    )
+    parser.add_argument(
+        "--ack", default="async", choices=("async", "sync-one", "quorum"),
+        help="client acknowledgement mode when --replicas > 0",
+    )
+    _add_jobs_argument(parser)
     args = parser.parse_args(argv)
 
     from repro.faults.chaos import run_chaos_suite
@@ -78,6 +87,9 @@ def _chaos_main(argv: list[str]) -> int:
         seed=args.seed,
         n_txns=args.txns,
         n_crashes=args.crashes,
+        replicas=args.replicas,
+        ack=args.ack,
+        jobs=_resolve_jobs(args.jobs),
     )
     print(text)
     return 0 if ok else 1

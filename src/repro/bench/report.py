@@ -156,8 +156,9 @@ def render_engine_stats(stats) -> str:
 
 def render_chaos_result(result) -> str:
     """Human-readable report for one :class:`repro.faults.ChaosResult`."""
+    repl = f" [replicas={result.replicas} ack={result.ack}]" if result.replicas else ""
     header = (
-        f"chaos {result.system} x {result.workload}: "
+        f"chaos {result.system} x {result.workload}{repl}: "
         f"{'PASS' if result.ok else 'FAIL'}"
     )
     lines = [header, _rule(len(header))]
@@ -178,9 +179,36 @@ def render_chaos_result(result) -> str:
             f"lost {crash.lost_records}{tail}, truncated {crash.truncated_records}, "
             f"redo {crash.redo_applied}, undo {crash.undo_applied}{ckpt}"
         )
+        if crash.winner_id is not None:
+            lines.append(
+                f"    failover -> replica{crash.winner_id} "
+                f"(durable lsn {crash.winner_lsn}, epoch {crash.epoch})"
+            )
         for problem in crash.problems:
             lines.append(f"    VIOLATION: {problem}")
     for problem in result.final_problems:
         lines.append(f"  FINAL VIOLATION: {problem}")
+    if result.replicas:
+        lines.append(
+            f"  acks: {result.acked} acked, {result.unacked} unacked; "
+            f"replica digests {list(result.replica_digests)}"
+        )
+        if result.net_faults:
+            fired = "  ".join(
+                f"{kind}={count}" for kind, count in sorted(result.net_faults.items())
+            )
+            lines.append(f"  net faults fired: {fired}")
+        if result.net_counters:
+            moved = "  ".join(
+                f"{key}={value}"
+                for key, value in sorted(result.net_counters.items())
+                if value
+            )
+            lines.append(f"  net traffic: {moved}")
+    if not result.ok:
+        lines.append(
+            "  failing invariants: " + ", ".join(result.failed_invariants())
+        )
+    lines.append(f"  digest {result.digest()}")
     lines.append(render_engine_stats(stats))
     return "\n".join(lines)

@@ -7,7 +7,9 @@ Public surface:
 * :class:`SimulatedCrash` / :class:`InjectedAbort` — what fires;
 * :class:`ChaosRunner` / :class:`ChaosSpec` — run any engine × workload
   under a fault schedule, recover after every crash, verify invariants;
-* :func:`tpcc_invariants` — TPC-C consistency conditions.
+* :func:`tpcc_invariants` — TPC-C consistency conditions;
+* ``NETWORK_KINDS`` / ``NET_SEND`` / ``NET_DELIVER`` — network fault
+  kinds and points consumed by :mod:`repro.replication`.
 """
 
 from repro.faults.chaos import (
@@ -16,6 +18,7 @@ from repro.faults.chaos import (
     ChaosSpec,
     CrashReport,
     default_workload_factories,
+    invariant_names,
     run_chaos_suite,
 )
 from repro.faults.injector import (
@@ -28,6 +31,15 @@ from repro.faults.injector import (
     INJECTION_POINTS,
     InjectedAbort,
     LOCK_ACQUIRE,
+    NET_DELAY,
+    NET_DELIVER,
+    NET_DROP,
+    NET_DUPLICATE,
+    NET_PARTITION,
+    NET_REORDER,
+    NET_SEND,
+    NETWORK_KINDS,
+    NETWORK_POINTS,
     SimulatedCrash,
     TXN_BODY,
     WAL_AFTER_APPEND,
@@ -50,12 +62,22 @@ __all__ = [
     "INJECTION_POINTS",
     "InjectedAbort",
     "LOCK_ACQUIRE",
+    "NET_DELAY",
+    "NET_DELIVER",
+    "NET_DROP",
+    "NET_DUPLICATE",
+    "NET_PARTITION",
+    "NET_REORDER",
+    "NET_SEND",
+    "NETWORK_KINDS",
+    "NETWORK_POINTS",
     "SimulatedCrash",
     "TXN_BODY",
     "WAL_AFTER_APPEND",
     "WAL_BEFORE_APPEND",
     "WAL_GROUP_COMMIT",
     "default_workload_factories",
+    "invariant_names",
     "run_chaos_suite",
     "tpcc_invariants",
 ]

@@ -21,9 +21,23 @@ Under the paper's asynchronous group-commit setup a transaction whose
 commit record had not flushed may be lost wholesale — that is permitted;
 what must never happen is a *partial* transaction surviving.
 
+With ``replicas > 0`` the runner drives a
+:class:`repro.replication.ReplicationGroup` instead of a bare engine:
+transactions go through the replicated submit path (WAL shipping plus
+the spec's ack mode), the fault schedule additionally breaks the
+*network* (drop / delay / duplicate / reorder / partition at the
+``net.send`` point), and a primary crash runs the deterministic
+LSN-based failover instead of single-node restart.  The cross-node
+invariants — no acknowledged transaction lost (per ack mode), replica
+byte-convergence after partitions heal, monotonic applied LSN — join
+the single-node ones in the report.
+
 Everything is deterministic given the spec's seed: the fault schedule,
 the crash images' surviving-tail choices and the workload stream all
-derive from it, so a chaos run is exactly reproducible.
+derive from it, so a chaos run is exactly reproducible.  Network-fault
+scheduling draws from a child RNG stream of its own, so a replicated
+run's *crash* schedule is byte-identical to the replication-off run at
+the same seed.
 """
 
 from __future__ import annotations
@@ -41,6 +55,8 @@ from repro.faults.injector import (
     FaultInjector,
     FaultSpec,
     LOCK_ACQUIRE,
+    NET_SEND,
+    NETWORK_KINDS,
     SimulatedCrash,
     TXN_BODY,
     WAL_AFTER_APPEND,
@@ -48,6 +64,7 @@ from repro.faults.injector import (
     WAL_GROUP_COMMIT,
 )
 from repro.faults.invariants import tpcc_invariants
+from repro.replication import ACK_MODES, ReplicationGroup, ReplicationSpec
 from repro.storage.recovery import (
     replay,
     restore_engine,
@@ -68,6 +85,9 @@ _AT_HIT_RANGES = {
     TXN_BODY: (1, 5),
 }
 _DEFAULT_AT_HIT_RANGE = (1, 15)
+# net.send fires per message (ships and acks), several per commit, so a
+# wider range still lands a network fault within the segment.
+_NET_AT_HIT_RANGE = (1, 40)
 
 
 @dataclass(frozen=True)
@@ -88,8 +108,30 @@ class ChaosSpec:
     abort_probability: float = 0.0
     # Injection points to crash at; None = every point the engine has.
     points: tuple[str, ...] | None = None
+    # Replication: 0 = single node (PR-1 behaviour); N > 0 runs a
+    # ReplicationGroup with N replicas and the given ack mode, and the
+    # fault schedule additionally breaks the network.
+    replicas: int = 0
+    ack: str = "async"
+    # Network fault kinds to cycle through (one per segment at
+    # net.send); None = all five.
+    net_kinds: tuple[str, ...] | None = None
     seed: int = 1
     engine_config: EngineConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.replicas < 0:
+            raise ValueError("replicas must be >= 0")
+        if self.ack not in ACK_MODES:
+            raise ValueError(
+                f"unknown ack mode {self.ack!r}; known: {', '.join(ACK_MODES)}"
+            )
+        unknown = set(self.net_kinds or ()) - set(NETWORK_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown network fault kind(s) {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(NETWORK_KINDS)}"
+            )
 
     @classmethod
     def quick(cls, system: str, **overrides) -> "ChaosSpec":
@@ -101,10 +143,18 @@ class ChaosSpec:
     def resolved_config(self) -> EngineConfig:
         return self.engine_config or EngineConfig(materialize_threshold=0)
 
+    def replication_spec(self) -> ReplicationSpec:
+        return ReplicationSpec(n_replicas=self.replicas, ack=self.ack)
+
 
 @dataclass
 class CrashReport:
-    """What one injected crash did and how recovery fared."""
+    """What one injected crash did and how recovery fared.
+
+    A replicated run's primary crash produces the same report with the
+    failover fields filled in: ``winner_id`` is the replica whose log
+    was replayed, ``epoch`` the epoch that crash ended.
+    """
 
     txn_index: int  # 1-based index of the transaction that died
     point: str
@@ -117,6 +167,15 @@ class CrashReport:
     checkpoint_lsn: int | None
     state_digest: int
     problems: list[str] = field(default_factory=list)
+    winner_id: int | None = None
+    winner_lsn: int = 0
+    epoch: int = 0
+
+
+def invariant_names(problems) -> list[str]:
+    """The distinct invariant names (the ``name:`` prefixes) violated."""
+    names = {p.split(":", 1)[0] for p in problems if ":" in p}
+    return sorted(names)
 
 
 @dataclass
@@ -130,14 +189,37 @@ class ChaosResult:
     crashes: list[CrashReport] = field(default_factory=list)
     final_problems: list[str] = field(default_factory=list)
     final_digest: int = 0
+    # Replication (all zero/empty for single-node runs).
+    replicas: int = 0
+    ack: str = "async"
+    acked: int = 0
+    unacked: int = 0
+    replica_digests: tuple[int, ...] = ()
+    net_faults: dict = field(default_factory=dict)
+    net_counters: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.final_problems and all(not c.problems for c in self.crashes)
 
+    @property
+    def failovers(self) -> int:
+        return sum(1 for c in self.crashes if c.winner_id is not None)
+
+    def all_problems(self) -> list[str]:
+        return [p for c in self.crashes for p in c.problems] + self.final_problems
+
+    def failed_invariants(self) -> list[str]:
+        """Names of the invariants any problem in this run violated."""
+        return invariant_names(self.all_problems())
+
     def digest(self) -> int:
         """Checksum of every recovered state (determinism checks)."""
-        content = (self.final_digest, [c.state_digest for c in self.crashes])
+        content = (
+            self.final_digest,
+            [c.state_digest for c in self.crashes],
+            self.replica_digests,
+        )
         return zlib.crc32(repr(content).encode())
 
 
@@ -170,9 +252,21 @@ class ChaosRunner:
         return pool
 
     def _segment_injector(
-        self, pool: list[str], segment: int, armed: bool, fault_rng: random.Random
+        self,
+        pool: list[str],
+        segment: int,
+        armed: bool,
+        fault_rng: random.Random,
+        net_rng: random.Random | None = None,
     ) -> FaultInjector:
-        """One crash per segment, cycling round-robin over the pool."""
+        """One crash per segment, cycling round-robin over the pool.
+
+        Replicated runs additionally schedule one network fault per
+        segment, cycling over the spec's fault kinds.  Its ``at_hit``
+        draws come from *net_rng* — a child stream separate from
+        *fault_rng* — so the crash schedule stays byte-identical to the
+        replication-off run at the same seed.
+        """
         schedule = []
         if armed:
             point = pool[segment % len(pool)]
@@ -187,7 +281,23 @@ class ChaosRunner:
                     times=-1,
                 )
             )
+        if net_rng is not None:
+            kinds = self.spec.net_kinds or NETWORK_KINDS
+            kind = kinds[segment % len(kinds)]
+            schedule.append(
+                FaultSpec(NET_SEND, kind=kind, at_hit=net_rng.randint(*_NET_AT_HIT_RANGE))
+            )
         return FaultInjector(schedule, seed=self.spec.seed * 1000 + segment)
+
+    def _named_problems(self, state, engine) -> list[str]:
+        """Verification + workload invariants, tagged with invariant names."""
+        problems = [
+            f"state-roundtrip: {p}" for p in verify_against_engine(state, engine)
+        ]
+        problems.extend(
+            f"tpcc-consistency: {p}" for p in self._workload_invariants(engine)
+        )
+        return problems
 
     def _workload_invariants(self, engine) -> list[str]:
         if isinstance(self.workload, TPCC):
@@ -200,7 +310,7 @@ class ChaosRunner:
         self,
         engine,
         crash: SimulatedCrash,
-        fault_rng: random.Random,
+        image_rng: random.Random,
         total: EngineStats,
         attempted: int,
     ):
@@ -210,12 +320,11 @@ class ChaosRunner:
             point=crash.point, hit=crash.hit, txn_index=attempted,
         ) as recover_span:
             total.merge(engine.stats)
-            image = engine.recovery_log().crash_image(fault_rng)
+            image = engine.recovery_log().crash_image(image_rng)
             state = replay(image)
             fresh, fresh_log = self._fresh_engine()
             restore_engine(state, fresh)
-            problems = verify_against_engine(state, fresh)
-            problems.extend(self._workload_invariants(fresh))
+            problems = self._named_problems(state, fresh)
             recover_span.set(
                 lost_records=image.lost_records,
                 torn_tail=image.torn_tail,
@@ -242,6 +351,38 @@ class ChaosRunner:
         write_checkpoint(fresh_log, state)
         return fresh, fresh_log, report
 
+    def _failover(
+        self,
+        group: ReplicationGroup,
+        crash: SimulatedCrash,
+        total: EngineStats,
+        attempted: int,
+    ) -> CrashReport:
+        """The replicated restart path: elect, replay the winner, verify."""
+        total.merge(group.engine.stats)
+        state, outcome = group.failover()
+        problems = list(outcome.problems)
+        problems.extend(
+            f"tpcc-consistency: {p}" for p in self._workload_invariants(group.engine)
+        )
+        obs.inc("chaos.failovers", system=self.spec.system)
+        return CrashReport(
+            txn_index=attempted,
+            point=crash.point,
+            hit=crash.hit,
+            lost_records=outcome.lost_records,
+            torn_tail=False,
+            truncated_records=state.truncated_records,
+            redo_applied=state.redo_applied,
+            undo_applied=state.undo_applied,
+            checkpoint_lsn=state.checkpoint_lsn,
+            state_digest=outcome.state_digest,
+            problems=problems,
+            winner_id=outcome.winner_id,
+            winner_lsn=outcome.winner_lsn,
+            epoch=outcome.epoch,
+        )
+
     # -- the run -------------------------------------------------------------
 
     def run(self) -> ChaosResult:
@@ -257,28 +398,58 @@ class ChaosRunner:
         spec = self.spec
         fault_rng = random.Random(spec.seed)
         txn_rng = random.Random(spec.seed + 1)
-        engine, log = self._fresh_engine()
+        # Crash-image draws (how much of the unflushed tail survives) get
+        # their own child stream: fault_rng is then *only* consumed by
+        # schedule draws, so the crash schedule is byte-identical whether
+        # or not replication is on (failover never tears the winner's log).
+        image_rng = random.Random(f"{spec.seed}:image")
+        replicated = spec.replicas > 0
+        # Network-fault schedules draw from their own child stream so
+        # the crash schedule matches the replication-off run bit-for-bit.
+        net_rng = random.Random(f"{spec.seed}:net") if replicated else None
+        group: ReplicationGroup | None = None
+        if replicated:
+            group = ReplicationGroup(
+                spec.replication_spec(), self._fresh_engine, seed=spec.seed
+            )
+            engine, log = group.engine, group.log
+        else:
+            engine, log = self._fresh_engine()
         pool = self._point_pool(engine)
         n_crashes = spec.n_crashes if spec.n_crashes is not None else len(pool)
         segments = n_crashes + 1
         per_segment = -(-spec.n_txns // segments)
         total = EngineStats()
         crashes: list[CrashReport] = []
+        injectors: list[FaultInjector] = []
         attempted = 0
         commits_since_ckpt = 0
         for segment in range(segments):
-            engine.attach_injector(
-                self._segment_injector(pool, segment, segment < n_crashes, fault_rng)
+            injector = self._segment_injector(
+                pool, segment, segment < n_crashes, fault_rng, net_rng
             )
+            injectors.append(injector)
+            if group is not None:
+                group.attach_injector(injector)
+            else:
+                engine.attach_injector(injector)
             for _ in range(per_segment):
                 procedure, body = self.workload.next_transaction(txn_rng)
                 attempted += 1
                 try:
-                    engine.execute(procedure, body)
+                    if group is not None:
+                        group.submit(procedure, body)
+                    else:
+                        engine.execute(procedure, body)
                 except SimulatedCrash as crash:
-                    engine, log, report = self._recover(
-                        engine, crash, fault_rng, total, attempted
-                    )
+                    if group is not None:
+                        report = self._failover(group, crash, total, attempted)
+                        engine, log = group.engine, group.log
+                        group.attach_injector(injector)
+                    else:
+                        engine, log, report = self._recover(
+                            engine, crash, image_rng, total, attempted
+                        )
                     crashes.append(report)
                     continue
                 if engine.last_outcome != COMMITTED:
@@ -288,19 +459,45 @@ class ChaosRunner:
                     commits_since_ckpt = 0
                     try:
                         take_checkpoint(log, truncate=True)
+                        if group is not None:
+                            group.ship()
                     except SimulatedCrash as crash:
-                        engine, log, report = self._recover(
-                            engine, crash, fault_rng, total, attempted
-                        )
+                        if group is not None:
+                            report = self._failover(group, crash, total, attempted)
+                            engine, log = group.engine, group.log
+                            group.attach_injector(injector)
+                        else:
+                            engine, log, report = self._recover(
+                                engine, crash, image_rng, total, attempted
+                            )
                         crashes.append(report)
         # Clean shutdown: force the log, replay it, and compare the
         # recovered state against the live engine.
-        engine.attach_injector(None)
+        if group is not None:
+            group.attach_injector(None)
+        else:
+            engine.attach_injector(None)
         log.force()
         final_state = replay(log)
-        final_problems = verify_against_engine(final_state, engine)
-        final_problems.extend(self._workload_invariants(engine))
+        final_problems = self._named_problems(final_state, engine)
+        if group is not None:
+            # Heal any partition, drive replicas to the primary's tip,
+            # and check the cross-node invariants.
+            group.final_sync()
+            final_problems.extend(group.convergence_problems())
+            for txn_id, lsn in sorted(group.acked.items()):
+                status = final_state.txn_status.get(txn_id)
+                if status is not None and status != COMMITTED:
+                    final_problems.append(
+                        f"no-acked-txn-lost: acked txn {txn_id} (lsn {lsn}) "
+                        f"replayed as {status} at shutdown"
+                    )
         total.merge(engine.stats)
+        net_fired: dict[str, int] = {}
+        for injector in injectors:
+            for fault in injector.fired:
+                if fault.kind in NETWORK_KINDS:
+                    net_fired[fault.kind] = net_fired.get(fault.kind, 0) + 1
         return ChaosResult(
             system=canonical_name(spec.system),
             workload=self.workload.name,
@@ -309,6 +506,13 @@ class ChaosRunner:
             crashes=crashes,
             final_problems=final_problems,
             final_digest=final_state.digest(),
+            replicas=spec.replicas,
+            ack=spec.ack,
+            acked=group.acked_count if group is not None else 0,
+            unacked=group.unacked_count if group is not None else 0,
+            replica_digests=group.replica_digests() if group is not None else (),
+            net_faults=net_fired,
+            net_counters=dict(group.net.counters) if group is not None else {},
         )
 
 
@@ -323,6 +527,21 @@ def default_workload_factories() -> dict:
     }
 
 
+def _run_suite_task(task: tuple[ChaosSpec, str]) -> tuple[str, bool, tuple[str, ...]]:
+    """One (spec, workload name) suite cell; picklable for --jobs fan-out.
+
+    Returns the rendered report (which embeds ``ChaosResult.digest``),
+    the pass verdict, and the names of any violated invariants — the
+    full suite output is a pure function of the task, so serial and
+    parallel runs are bit-identical.
+    """
+    from repro.bench.report import render_chaos_result  # local: report imports stats
+
+    spec, workload_name = task
+    result = ChaosRunner(spec, default_workload_factories()[workload_name]()).run()
+    return render_chaos_result(result), result.ok, tuple(result.failed_invariants())
+
+
 def run_chaos_suite(
     systems=None,
     workloads=None,
@@ -331,10 +550,17 @@ def run_chaos_suite(
     seed: int = 1,
     n_txns: int | None = None,
     n_crashes: int | None = None,
+    replicas: int = 0,
+    ack: str = "async",
+    jobs: int = 1,
 ) -> tuple[str, bool]:
-    """Run the chaos matrix; returns (report text, all passed)."""
-    from repro.bench.report import render_chaos_result  # local: report imports stats
+    """Run the chaos matrix; returns (report text, all passed).
 
+    With ``jobs > 1`` the independent (system, workload) cells fan out
+    over a process pool; results are collected in submission order, so
+    the report is bit-identical to the serial run.  When any run fails,
+    the verdict line names the violated invariants.
+    """
     names = [canonical_name(s) for s in systems] if systems else list(ALL_SYSTEMS)
     factories = default_workload_factories()
     if workloads:
@@ -345,22 +571,34 @@ def run_chaos_suite(
                 f"known: {', '.join(factories)}"
             )
         factories = {name: factories[name] for name in workloads}
-    overrides = {}
+    overrides: dict = {"replicas": replicas, "ack": ack}
     if n_txns is not None:
         overrides["n_txns"] = n_txns
     if n_crashes is not None:
         overrides["n_crashes"] = n_crashes
-    lines: list[str] = []
-    all_ok = True
+    tasks: list[tuple[ChaosSpec, str]] = []
     for system in names:
-        for name, factory in factories.items():
+        for workload_name in factories:
             if quick:
                 spec = ChaosSpec.quick(system, seed=seed, **overrides)
             else:
                 spec = ChaosSpec(system, seed=seed, **overrides)
-            result = ChaosRunner(spec, factory()).run()
-            all_ok = all_ok and result.ok
-            lines.append(render_chaos_result(result))
-    verdict = "all chaos runs clean" if all_ok else "CHAOS FAILURES (see above)"
+            tasks.append((spec, workload_name))
+    if jobs > 1 and len(tasks) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            outcomes = list(pool.map(_run_suite_task, tasks, chunksize=1))
+    else:
+        outcomes = [_run_suite_task(task) for task in tasks]
+    lines = [text for text, _, _ in outcomes]
+    all_ok = all(ok for _, ok, _ in outcomes)
+    if all_ok:
+        verdict = "all chaos runs clean"
+    else:
+        failed = sorted({name for _, _, names_ in outcomes for name in names_})
+        verdict = "CHAOS FAILURES (see above) — failing invariants: " + (
+            ", ".join(failed) if failed else "(unnamed)"
+        )
     lines.append(verdict)
     return "\n".join(lines), all_ok

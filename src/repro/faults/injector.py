@@ -22,6 +22,7 @@ are per-point, probabilistic triggers draw from a private
 from __future__ import annotations
 
 import random
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -39,7 +40,14 @@ WAL_GROUP_COMMIT = "wal.group_commit"
 TXN_BODY = "txn.body"
 LOCK_ACQUIRE = "lock.acquire"
 INDEX_INSERT = "index.insert"
+# Network points fired by repro.replication.SimNetwork: once per message
+# handed to the fabric, once per message about to be delivered.
+NET_SEND = "net.send"
+NET_DELIVER = "net.deliver"
 
+# Process-level points: a crash/abort fault here kills or rolls back the
+# simulated process.  NETWORK_POINTS are kept separate — they belong to
+# the message fabric, which has no process to crash.
 INJECTION_POINTS = (
     WAL_BEFORE_APPEND,
     WAL_AFTER_APPEND,
@@ -49,8 +57,20 @@ INJECTION_POINTS = (
     INDEX_INSERT,
 )
 
+NETWORK_POINTS = (NET_SEND, NET_DELIVER)
+ALL_POINTS = INJECTION_POINTS + NETWORK_POINTS
+
 CRASH = "crash"
 ABORT = "abort"
+# Network fault kinds (valid only at NETWORK_POINTS): applied by the
+# SimNetwork to the message the point fired for, never raised.
+NET_DROP = "drop"
+NET_DELAY = "delay"
+NET_DUPLICATE = "duplicate"
+NET_REORDER = "reorder"
+NET_PARTITION = "partition"
+
+NETWORK_KINDS = (NET_DROP, NET_DELAY, NET_DUPLICATE, NET_REORDER, NET_PARTITION)
 
 # Injected aborts only make sense where a transaction can still roll
 # back cleanly; commit-path points (WAL appends, group commit) are
@@ -94,13 +114,27 @@ class FaultSpec:
     times: int = 1
 
     def __post_init__(self) -> None:
-        if self.point not in INJECTION_POINTS:
+        if self.point not in ALL_POINTS:
             raise ValueError(
                 f"unknown injection point {self.point!r}; "
-                f"known: {', '.join(INJECTION_POINTS)}"
+                f"known: {', '.join(ALL_POINTS)}"
             )
-        if self.kind not in (CRASH, ABORT):
-            raise ValueError(f"fault kind must be 'crash' or 'abort', got {self.kind!r}")
+        if self.kind not in (CRASH, ABORT) + NETWORK_KINDS:
+            raise ValueError(
+                f"fault kind must be 'crash', 'abort' or one of "
+                f"{', '.join(NETWORK_KINDS)}, got {self.kind!r}"
+            )
+        if self.kind in NETWORK_KINDS and self.point not in NETWORK_POINTS:
+            raise ValueError(
+                f"network fault {self.kind!r} is only valid at "
+                f"{', '.join(NETWORK_POINTS)}, not {self.point!r}"
+            )
+        if self.kind not in NETWORK_KINDS and self.point in NETWORK_POINTS:
+            raise ValueError(
+                f"{self.point!r} takes network fault kinds "
+                f"({', '.join(NETWORK_KINDS)}), not {self.kind!r}: the fabric "
+                f"has no process to crash or transaction to abort"
+            )
         if self.kind == ABORT and self.point not in _ABORTABLE_POINTS:
             raise ValueError(
                 f"abort faults are only valid at {', '.join(_ABORTABLE_POINTS)}; "
@@ -122,17 +156,34 @@ class FiredFault:
 
 
 class FaultInjector:
-    """Fires scheduled faults at named injection points, deterministically."""
+    """Fires scheduled faults at named injection points, deterministically.
+
+    Probabilistic triggers (and any magnitude draws the consumer makes,
+    e.g. delay ticks) come from **per-kind child RNG streams**, each
+    seeded off ``(seed, kind)``.  Streams never interleave, so adding a
+    schedule entry of one kind — say a network ``drop`` — cannot shift
+    the draw sequence of another kind: a fixed seed pins the crash and
+    torn-write schedule regardless of what other fault kinds ride along
+    (see ``tests/test_faults.py::TestPerKindStreams``).
+    """
 
     def __init__(self, schedule=(), seed: int = 0) -> None:
         self.schedule: list[FaultSpec] = list(schedule)
         self.seed = seed
-        self._rng = random.Random(seed)
+        self._streams: dict[str, random.Random] = {}
         self.hits: dict[str, int] = {}
         self.fired: list[FiredFault] = []
         self._remaining = [spec.times for spec in self.schedule]
         self.armed = True
         self._aborts_suspended = 0
+
+    def stream(self, kind: str) -> random.Random:
+        """The child RNG stream for *kind* (string-seeded: deterministic
+        across processes, independent of every other kind's stream)."""
+        rng = self._streams.get(kind)
+        if rng is None:
+            rng = self._streams[kind] = random.Random(f"{self.seed}:{kind}")
+        return rng
 
     def fire(self, point: str, **context) -> None:
         """Called by instrumented code; raises if a fault triggers.
@@ -147,10 +198,12 @@ class FaultInjector:
         for i, spec in enumerate(self.schedule):
             if spec.point != point or self._remaining[i] == 0:
                 continue
+            if spec.kind in NETWORK_KINDS:
+                continue  # evaluated by network_fault(), never raised
             if spec.at_hit is not None:
                 triggered = spec.at_hit == hit
             else:
-                triggered = self._rng.random() < spec.probability
+                triggered = self.stream(spec.kind).random() < spec.probability
             if not triggered:
                 continue
             if spec.kind == ABORT and self._aborts_suspended:
@@ -169,6 +222,49 @@ class FaultInjector:
                 self.armed = False
                 raise SimulatedCrash(point, hit)
             raise InjectedAbort(point, hit)
+
+    def network_fault(self, point: str, **context) -> str | None:
+        """Evaluate network-kind faults at *point*; returns the kind hit.
+
+        Unlike :meth:`fire` nothing is raised — a network fault is not a
+        process event but an instruction to the :class:`SimNetwork`
+        about what to do with the message the point fired for (drop it,
+        delay it, ...).  At most one fault applies per message (first
+        matching schedule entry wins).
+        """
+        if not self.armed:
+            return None
+        hit = self.hits.get(point, 0) + 1
+        self.hits[point] = hit
+        for i, spec in enumerate(self.schedule):
+            if spec.point != point or self._remaining[i] == 0:
+                continue
+            if spec.kind not in NETWORK_KINDS:
+                continue
+            if spec.at_hit is not None:
+                triggered = spec.at_hit == hit
+            else:
+                triggered = self.stream(spec.kind).random() < spec.probability
+            if not triggered:
+                continue
+            if self._remaining[i] > 0:
+                self._remaining[i] -= 1
+            self.fired.append(FiredFault(point, hit, spec.kind))
+            obs.annotate(
+                "fault." + spec.kind, track="chaos", cat="faults", point=point, hit=hit
+            )
+            obs.inc("faults.fired", point=point, kind=spec.kind)
+            return spec.kind
+        return None
+
+    def schedule_digest(self) -> int:
+        """Checksum of everything fired so far, in firing order.
+
+        Pinning this for a fixed seed turns "new fault kinds must not
+        shift existing schedules" into a regression test.
+        """
+        content = tuple((f.point, f.hit, f.kind) for f in self.fired)
+        return zlib.crc32(repr(content).encode())
 
     @contextmanager
     def suspend_aborts(self):

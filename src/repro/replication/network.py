@@ -1,0 +1,226 @@
+"""SimNetwork: a deterministic, seeded message fabric between nodes.
+
+The fabric is the network a :class:`~repro.replication.group.ReplicationGroup`
+ships WAL records over.  It has no threads and no wall clock — time is
+an integer tick counter advanced explicitly by whoever drives the group
+(the chaos harness, a test, the submit path waiting for acks), so every
+run is exactly reproducible.
+
+Messages are enqueued with a fixed delivery latency and handed to the
+destination's registered handler when the clock reaches their delivery
+tick, in (delivery tick, enqueue order) order.  Two things can disturb
+that:
+
+* **Network faults** — a :class:`~repro.faults.FaultInjector` attached
+  to the fabric is consulted at the ``net.send`` and ``net.deliver``
+  injection points; a triggered fault of one of the network kinds
+  (``drop``, ``delay``, ``duplicate``, ``reorder``, ``partition``) is
+  applied to that message.  Magnitudes (delay ticks, partition length)
+  come from the injector's per-kind child RNG streams, so scheduling
+  network faults cannot shift the crash/torn-write schedules.
+* **Partitions** — a set of nodes currently cut off from the rest.
+  Messages crossing the cut are dropped (at send *and* at delivery, so
+  in-flight traffic is severed too) until the partition heals, either
+  when the fabric's clock reaches the fault's deterministic heal tick
+  or explicitly via :meth:`SimNetwork.heal`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro import obs
+from repro.faults.injector import (
+    NET_DELAY,
+    NET_DELIVER,
+    NET_DROP,
+    NET_DUPLICATE,
+    NET_PARTITION,
+    NET_REORDER,
+    NET_SEND,
+)
+
+# Magnitude ranges drawn from the injector's per-kind streams.
+DELAY_TICK_RANGE = (2, 6)
+PARTITION_TICK_RANGE = (8, 24)
+# A reordered message is pushed back far enough for the next message
+# (sent one latency later) to overtake it.
+REORDER_EXTRA_TICKS = 2
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight: ``kind`` is protocol-level (ship/ack)."""
+
+    seq: int
+    src: str
+    dst: str
+    kind: str
+    payload: tuple
+
+
+class SimNetwork:
+    """Deterministic tick-driven message fabric with injectable faults."""
+
+    def __init__(self, *, latency_ticks: int = 1) -> None:
+        if latency_ticks < 1:
+            raise ValueError("latency_ticks must be >= 1")
+        self.latency_ticks = latency_ticks
+        self.clock = 0
+        self.injector = None  # FaultInjector evaluated at NET_SEND/NET_DELIVER
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        self._queue: list[tuple[int, int, Message]] = []
+        self._enqueue_seq = 0  # tie-break: FIFO among same-tick messages
+        self._next_msg_seq = 0
+        self._cut: frozenset[str] = frozenset()
+        self._heal_at = 0
+        self.counters: dict[str, int] = {
+            "sent": 0,
+            "delivered": 0,
+            "dropped": 0,
+            "delayed": 0,
+            "duplicated": 0,
+            "reordered": 0,
+            "partitions": 0,
+            "partition_drops": 0,
+        }
+
+    # -- topology ------------------------------------------------------------
+
+    def register(self, node: str, handler: Callable[[Message], None]) -> None:
+        if node in self._handlers:
+            raise ValueError(f"node {node!r} already registered")
+        self._handlers[node] = handler
+
+    def partitioned(self, src: str, dst: str) -> bool:
+        """True when an active partition separates *src* from *dst*."""
+        if not self._cut or self.clock >= self._heal_at:
+            return False
+        return (src in self._cut) != (dst in self._cut)
+
+    def partition(self, nodes, ticks: int) -> None:
+        """Cut *nodes* off from everyone else for *ticks* fabric ticks."""
+        self._cut = frozenset(nodes)
+        self._heal_at = self.clock + ticks
+        self.counters["partitions"] += 1
+        obs.annotate(
+            "net.partition", track="repl", cat="replication",
+            nodes=",".join(sorted(self._cut)), heal_at=self._heal_at,
+        )
+
+    def heal(self) -> None:
+        """Heal any active partition immediately."""
+        self._cut = frozenset()
+        self._heal_at = self.clock
+
+    @property
+    def partition_active(self) -> bool:
+        return bool(self._cut) and self.clock < self._heal_at
+
+    # -- sending -------------------------------------------------------------
+
+    def _enqueue(self, deliver_at: int, message: Message) -> None:
+        self._enqueue_seq += 1
+        heapq.heappush(self._queue, (deliver_at, self._enqueue_seq, message))
+
+    def _fault_magnitude(self, kind: str) -> int:
+        rng = self.injector.stream(kind)
+        lo, hi = DELAY_TICK_RANGE if kind == NET_DELAY else PARTITION_TICK_RANGE
+        return rng.randint(lo, hi)
+
+    def send(self, src: str, dst: str, kind: str, payload: tuple) -> None:
+        """Hand a message to the fabric (delivered ``latency_ticks`` later)."""
+        if dst not in self._handlers:
+            raise KeyError(f"unknown destination node {dst!r}")
+        self._next_msg_seq += 1
+        message = Message(self._next_msg_seq, src, dst, kind, payload)
+        self.counters["sent"] += 1
+        if self.partitioned(src, dst):
+            self.counters["partition_drops"] += 1
+            return
+        deliver_at = self.clock + self.latency_ticks
+        fault = None
+        if self.injector is not None:
+            fault = self.injector.network_fault(
+                NET_SEND, src=src, dst=dst, kind=kind, seq=message.seq
+            )
+        if fault == NET_DROP:
+            self.counters["dropped"] += 1
+            return
+        if fault == NET_PARTITION:
+            # The sender's side of the link dies: isolate *src* (for a
+            # primary shipping its WAL that partitions the primary) and
+            # lose this message with it.
+            self.partition({src}, self._fault_magnitude(fault))
+            self.counters["partition_drops"] += 1
+            return
+        if fault == NET_DELAY:
+            self.counters["delayed"] += 1
+            deliver_at += self._fault_magnitude(fault)
+        elif fault == NET_REORDER:
+            self.counters["reordered"] += 1
+            deliver_at += REORDER_EXTRA_TICKS
+        elif fault == NET_DUPLICATE:
+            self.counters["duplicated"] += 1
+            self._enqueue(deliver_at + 1, message)
+        self._enqueue(deliver_at, message)
+
+    # -- delivery ------------------------------------------------------------
+
+    def _deliver(self, message: Message) -> None:
+        if self.partitioned(message.src, message.dst):
+            self.counters["partition_drops"] += 1
+            return
+        fault = None
+        if self.injector is not None:
+            fault = self.injector.network_fault(
+                NET_DELIVER,
+                src=message.src, dst=message.dst,
+                kind=message.kind, seq=message.seq,
+            )
+        if fault == NET_DROP:
+            self.counters["dropped"] += 1
+            return
+        if fault == NET_PARTITION:
+            self.partition({message.src}, self._fault_magnitude(fault))
+            self.counters["partition_drops"] += 1
+            return
+        if fault in (NET_DELAY, NET_REORDER):
+            extra = (
+                self._fault_magnitude(fault)
+                if fault == NET_DELAY
+                else REORDER_EXTRA_TICKS
+            )
+            self.counters["delayed" if fault == NET_DELAY else "reordered"] += 1
+            self._enqueue(self.clock + extra, message)
+            return
+        if fault == NET_DUPLICATE:
+            self.counters["duplicated"] += 1
+            self._handlers[message.dst](message)
+            self.counters["delivered"] += 1
+        self._handlers[message.dst](message)
+        self.counters["delivered"] += 1
+
+    def tick(self, n: int = 1) -> None:
+        """Advance the clock *n* ticks, delivering everything due."""
+        for _ in range(n):
+            self.clock += 1
+            if self._cut and self.clock >= self._heal_at:
+                self._cut = frozenset()
+            while self._queue and self._queue[0][0] <= self.clock:
+                _, _, message = heapq.heappop(self._queue)
+                self._deliver(message)
+
+    def run_until_quiet(self, max_ticks: int = 10_000) -> int:
+        """Tick until no messages remain in flight; returns ticks spent."""
+        spent = 0
+        while self._queue and spent < max_ticks:
+            self.tick()
+            spent += 1
+        return spent
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._queue)

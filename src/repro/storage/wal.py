@@ -112,6 +112,10 @@ class WriteAheadLog:
         self.next_lsn = 1
         self.records: list[LogRecord] = []
         self.flushed_lsn = 0
+        # LSN / txn id of the last 'commit' record appended — the
+        # position a replication client waits on for its ack.
+        self.last_commit_lsn = 0
+        self.last_commit_txn = 0
         self._pending_commits = 0
         self.flushes = 0
         # Optional FaultInjector threaded in by Engine.attach_injector.
@@ -155,6 +159,9 @@ class WriteAheadLog:
         self.next_lsn += 1
         self._head += size
         self.records.append(record)
+        if kind == "commit":
+            self.last_commit_lsn = record.lsn
+            self.last_commit_txn = txn_id
         if kind in ("commit", "abort"):
             self._pending_commits += 1
             if self._pending_commits >= self.group_commit_size:
@@ -228,6 +235,10 @@ class WriteAheadLog:
             lost_records=len(tail) - keep,
             torn_tail=torn,
         )
+
+    def records_since(self, lsn: int) -> list[LogRecord]:
+        """Retained records with ``lsn > lsn`` (the WAL-shipping feed)."""
+        return [r for r in self.records if r.lsn > lsn]
 
     def truncate_before(self, lsn: int) -> int:
         """Drop retained records with ``lsn < lsn`` (post-checkpoint GC)."""

@@ -19,6 +19,8 @@ from repro.faults import (
     INJECTION_POINTS,
     LOCK_ACQUIRE,
     TXN_BODY,
+    invariant_names,
+    run_chaos_suite,
 )
 from repro.faults.chaos import default_workload_factories
 
@@ -111,3 +113,149 @@ class TestInjectedAborts:
         result = ChaosRunner(spec, _workload("micro")).run()
         assert result.ok, _failures(result)
         assert {c.point for c in result.crashes} <= {LOCK_ACQUIRE, TXN_BODY}
+
+
+class TestInvariantNaming:
+    def test_invariant_names_extracts_prefixes(self):
+        problems = [
+            "no-acked-txn-lost: txn 3 acked at lsn 40",
+            "replica-convergence: replica1 durable lsn 9 != primary tip 12",
+            "no-acked-txn-lost: txn 9 acked at lsn 55",
+            "unprefixed problem",
+        ]
+        assert invariant_names(problems) == [
+            "no-acked-txn-lost", "replica-convergence",
+        ]
+
+    def test_failed_invariants_on_result(self):
+        result = ChaosRunner(
+            ChaosSpec.quick("shore-mt", seed=9), _workload("micro")
+        ).run()
+        assert result.ok
+        assert result.failed_invariants() == []
+        result.final_problems.append("replica-convergence: injected for test")
+        assert not result.ok
+        assert result.failed_invariants() == ["replica-convergence"]
+
+
+class TestSpecValidation:
+    def test_negative_replicas_rejected(self):
+        with pytest.raises(ValueError, match="replicas"):
+            ChaosSpec("shore-mt", replicas=-1)
+
+    def test_unknown_ack_rejected(self):
+        with pytest.raises(ValueError, match="ack mode"):
+            ChaosSpec("shore-mt", ack="two-phase")
+
+    def test_unknown_net_kind_rejected(self):
+        with pytest.raises(ValueError, match="network fault kind"):
+            ChaosSpec("shore-mt", net_kinds=("gamma-ray",))
+
+
+class TestReplicatedChaos:
+    @pytest.mark.parametrize("ack", ["async", "sync-one", "quorum"])
+    def test_replicated_run_clean_in_every_ack_mode(self, ack):
+        spec = ChaosSpec.quick("shore-mt", seed=9, replicas=2, ack=ack)
+        result = ChaosRunner(spec, _workload("micro")).run()
+        assert result.ok, result.all_problems()
+        assert result.crashes, "no crash was injected"
+        assert result.failovers == len(result.crashes)
+        assert result.acked > 0
+        assert len(set(result.replica_digests)) == 1  # byte-converged
+
+    def test_partitioned_primary_quorum_failover(self):
+        """The acceptance scenario: partition the primary mid-benchmark
+        in quorum mode; failover must complete and every invariant hold."""
+        spec = ChaosSpec.quick(
+            "shore-mt", seed=3, replicas=2, ack="quorum",
+            net_kinds=("partition",),
+        )
+        a = ChaosRunner(spec, _workload("tpcc")).run()
+        b = ChaosRunner(spec, _workload("tpcc")).run()
+        assert a.ok, a.all_problems()
+        assert a.failovers >= 1
+        assert a.net_faults.get("partition", 0) >= 1
+        assert a.net_counters["partition_drops"] > 0
+        assert a.failed_invariants() == []
+        assert a.digest() == b.digest()  # same seed -> identical serial
+
+    def test_crash_schedule_matches_replication_off(self):
+        """Turning replication on must not shift the crash schedule."""
+        off = ChaosRunner(
+            ChaosSpec.quick("shore-mt", seed=9), _workload("tpcc")
+        ).run()
+        on = ChaosRunner(
+            ChaosSpec.quick("shore-mt", seed=9, replicas=2, ack="quorum"),
+            _workload("tpcc"),
+        ).run()
+        assert [(c.point, c.hit, c.txn_index) for c in off.crashes] == [
+            (c.point, c.hit, c.txn_index) for c in on.crashes
+        ]
+
+    def test_replicated_digest_deterministic_across_ack_modes_runs(self):
+        spec = ChaosSpec.quick("voltdb", seed=11, replicas=2, ack="sync-one")
+        a = ChaosRunner(spec, _workload("micro")).run()
+        b = ChaosRunner(spec, _workload("micro")).run()
+        assert a.digest() == b.digest()
+        assert a.replica_digests == b.replica_digests
+
+
+class TestSuiteAndCLI:
+    def test_suite_parallel_report_bit_identical(self):
+        kwargs = dict(
+            systems=["shore-mt"], workloads=["micro"], quick=True, seed=5,
+            replicas=2, ack="quorum",
+        )
+        serial_text, serial_ok = run_chaos_suite(jobs=1, **kwargs)
+        # One cell cannot fan out; add the second workload for a real pool.
+        kwargs["workloads"] = ["micro", "tpcc"]
+        t1, ok1 = run_chaos_suite(jobs=1, **kwargs)
+        t2, ok2 = run_chaos_suite(jobs=2, **kwargs)
+        assert serial_ok and ok1 and ok2
+        assert t1 == t2  # --jobs N output byte-identical to serial
+        assert serial_text.splitlines()[0] in t1
+
+    def test_cli_exits_nonzero_and_names_invariants_on_failure(self, monkeypatch, capsys):
+        from repro.bench.cli import main
+        from repro.faults import chaos as chaos_module
+
+        def fake_suite(**kwargs):
+            return (
+                "chaos shore-mt x micro: FAIL\n"
+                "CHAOS FAILURES (see above) — failing invariants: "
+                "no-acked-txn-lost, replica-convergence",
+                False,
+            )
+
+        monkeypatch.setattr(chaos_module, "run_chaos_suite", fake_suite)
+        status = main(["chaos", "--quick"])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "no-acked-txn-lost" in out
+        assert "replica-convergence" in out
+
+    def test_cli_exits_zero_on_success(self, monkeypatch, capsys):
+        from repro.bench.cli import main
+        from repro.faults import chaos as chaos_module
+
+        monkeypatch.setattr(
+            chaos_module, "run_chaos_suite",
+            lambda **kwargs: ("all chaos runs clean", True),
+        )
+        assert main(["chaos", "--quick"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_suite_verdict_names_failing_invariants(self, monkeypatch):
+        from repro.faults import chaos as chaos_module
+
+        monkeypatch.setattr(
+            chaos_module, "_run_suite_task",
+            lambda task: ("chaos cell: FAIL", False, ("no-acked-txn-lost",)),
+        )
+        text, ok = chaos_module.run_chaos_suite(
+            systems=["shore-mt"], workloads=["micro"], quick=True
+        )
+        assert not ok
+        assert text.splitlines()[-1] == (
+            "CHAOS FAILURES (see above) — failing invariants: no-acked-txn-lost"
+        )

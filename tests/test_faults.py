@@ -25,9 +25,12 @@ from repro.engines.config import EngineConfig
 from repro.engines.registry import make_engine
 from repro.faults import (
     ABORT,
+    CRASH,
     FaultInjector,
     FaultSpec,
     InjectedAbort,
+    NET_DROP,
+    NET_SEND,
     SimulatedCrash,
     TXN_BODY,
     WAL_BEFORE_APPEND,
@@ -134,6 +137,67 @@ class TestInjector:
         exc = InjectedAbort(TXN_BODY, 1)
         assert isinstance(exc, TransactionAborted)
         assert exc.reason == AbortReason.INJECTED
+
+
+class TestPerKindStreams:
+    """Each fault kind draws from its own (seed, kind) child stream."""
+
+    def test_streams_are_seeded_per_kind(self):
+        inj, twin, other = (FaultInjector([], seed=5) for _ in range(3))
+        assert inj.stream(CRASH) is inj.stream(CRASH)  # cached
+        a = [inj.stream(ABORT).random() for _ in range(5)]
+        b = [twin.stream(ABORT).random() for _ in range(5)]
+        assert a == b  # same (seed, kind) -> same sequence
+        assert a != [other.stream(CRASH).random() for _ in range(5)]  # kinds isolated
+
+    def test_network_spec_does_not_shift_abort_schedule(self):
+        """Adding network faults must not disturb existing kinds' draws —
+        the property that keeps PR-1-era schedules stable."""
+
+        def abort_hits(schedule):
+            inj = FaultInjector(schedule, seed=11)
+            hits = []
+            for i in range(80):
+                try:
+                    inj.fire(TXN_BODY)
+                except InjectedAbort:
+                    hits.append(i)
+                inj.network_fault(NET_SEND)
+            return hits
+
+        base = [FaultSpec(TXN_BODY, kind=ABORT, probability=0.25, times=-1)]
+        with_net = base + [FaultSpec(NET_SEND, kind=NET_DROP, probability=0.5, times=-1)]
+        assert abort_hits(base) == abort_hits(with_net)
+
+    def test_schedule_digest_pinned(self):
+        """Regression pin: this exact seed/schedule produced this fired
+        sequence when per-kind streams landed.  A change to stream
+        seeding or draw order will break this test — deliberately."""
+        inj = FaultInjector(
+            [
+                FaultSpec(TXN_BODY, kind=ABORT, probability=0.2, times=-1),
+                FaultSpec(WAL_GROUP_COMMIT, at_hit=3),
+            ],
+            seed=42,
+        )
+        for _ in range(60):
+            try:
+                inj.fire(TXN_BODY)
+            except InjectedAbort:
+                pass
+        for _ in range(3):
+            try:
+                inj.fire(WAL_GROUP_COMMIT)
+            except SimulatedCrash:
+                pass
+        assert inj.schedule_digest() == 2669772192
+
+    def test_network_fault_returns_kind_without_raising(self):
+        inj = FaultInjector([FaultSpec(NET_SEND, kind=NET_DROP, at_hit=2)])
+        assert inj.network_fault(NET_SEND) is None
+        assert inj.network_fault(NET_SEND) == NET_DROP
+        assert inj.network_fault(NET_SEND) is None  # budget spent
+        assert [(f.point, f.hit, f.kind) for f in inj.fired] == [(NET_SEND, 2, NET_DROP)]
 
 
 class TestWALHardening:

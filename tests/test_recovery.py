@@ -8,16 +8,19 @@ from repro.engines.base import UserAbort
 from repro.engines.common import TableSpec
 from repro.engines.config import EngineConfig
 from repro.engines.registry import make_engine
+from repro.faults import FaultInjector, FaultSpec, SimulatedCrash, WAL_AFTER_APPEND
 from repro.storage.recovery import (
     ABORTED,
+    CHECKPOINT,
     COMMITTED,
     analyse,
     replay,
     restore_engine,
+    take_checkpoint,
     verify_against_engine,
 )
 from repro.storage.record import microbench_schema
-from repro.storage.wal import WriteAheadLog
+from repro.storage.wal import WriteAheadLog, torn_copy
 from repro.storage.address_space import DataAddressSpace
 
 N_ROWS = 500
@@ -186,3 +189,63 @@ class TestAllEngines:
             return replay(engine.recovery_log()).digest()
 
         assert digest() == digest()
+
+
+class TestMidCheckpointCrash:
+    """A crash landing inside a checkpoint record must not poison replay:
+    the torn checkpoint is truncated away and recovery proceeds from the
+    previous (intact) checkpoint."""
+
+    def _engine_with_two_checkpoint_attempts(self):
+        engine = engine_with_log("shore-mt")
+        for i in range(8):
+            engine.execute("p", lambda txn, v=i: txn.update("t", v, "value", v + 100))
+        log = engine.recovery_log()
+        first = take_checkpoint(log)
+        for i in range(8, 16):
+            engine.execute("p", lambda txn, v=i: txn.update("t", v, "value", v + 100))
+        log.force()
+        return engine, log, first
+
+    def test_torn_checkpoint_record_falls_back_to_previous(self):
+        engine, log, first = self._engine_with_two_checkpoint_attempts()
+        second = take_checkpoint(log)
+        # The crash tore the second checkpoint's tail mid-write.
+        index = next(i for i, r in enumerate(log.records) if r.lsn == second.lsn)
+        log.records[index] = torn_copy(second)
+        state = replay(log)
+        assert state.truncated_records >= 1  # the torn record is gone
+        assert state.checkpoint_lsn == first.lsn  # fell back one checkpoint
+        # Every commit before the torn record is still recovered.
+        for i in range(16):
+            assert state.row("t", i)[1] == i + 100
+        assert verify_against_engine(state, engine) == []
+
+    def test_crash_during_checkpoint_append_recovers_from_previous(self):
+        engine, log, first = self._engine_with_two_checkpoint_attempts()
+        # Die right after the checkpoint record lands in the buffer —
+        # before write_checkpoint's force makes it durable.
+        log.injector = FaultInjector(
+            [FaultSpec(WAL_AFTER_APPEND, at_hit=1)], seed=1
+        )
+        with pytest.raises(SimulatedCrash):
+            take_checkpoint(log)
+        log.injector = None
+        state = replay(log.crash_image())  # unflushed tail lost wholesale
+        assert state.checkpoint_lsn == first.lsn
+        for i in range(16):
+            assert state.row("t", i)[1] == i + 100
+        assert verify_against_engine(state, engine) == []
+
+    def test_truncating_checkpoint_tear_loses_nothing_before_it(self):
+        engine, log, _ = self._engine_with_two_checkpoint_attempts()
+        second = take_checkpoint(log, truncate=True)
+        assert log.records[0].kind == CHECKPOINT
+        index = next(i for i, r in enumerate(log.records) if r.lsn == second.lsn)
+        assert index == 0  # truncation left the checkpoint at the head
+        log.records[index] = torn_copy(second)
+        state = replay(log)
+        # The only checkpoint is torn: replay starts from nothing and
+        # must recover nothing — but not crash or invent state.
+        assert state.checkpoint_lsn is None
+        assert state.rows == {}
