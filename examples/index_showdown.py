@@ -12,8 +12,6 @@ lines-per-probe and LLC miss counts.
 Run:  python examples/index_showdown.py
 """
 
-import random
-
 from repro.core import AccessTrace, Machine
 from repro.storage import (
     AdaptiveRadixTree,
@@ -22,6 +20,7 @@ from repro.storage import (
     DataAddressSpace,
     HashIndex,
 )
+from repro.util.rng import root_rng
 
 N_KEYS = 1_000_000
 PROBES = 400
@@ -44,7 +43,7 @@ def build_indexes(space: DataAddressSpace):
 def main() -> None:
     space = DataAddressSpace()
     indexes = build_indexes(space)
-    rng = random.Random(42)
+    rng = root_rng(42, "example")
     keys = [rng.randrange(N_KEYS) for _ in range(PROBES)]
 
     print(f"\n{'index':<22}{'height':>7}{'lines/probe':>13}{'LLC misses/probe':>18}")

@@ -10,7 +10,6 @@ attributed to it.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.bench.runner import RunSpec, prewarm_llc
@@ -23,6 +22,7 @@ from repro.core.machine import (
     Machine,
 )
 from repro.engines.registry import make_engine
+from repro.util.rng import root_rng
 
 
 @dataclass(frozen=True)
@@ -55,7 +55,7 @@ def profile_modules(
     workload.setup(engine)
     machine = Machine(spec.server, n_cores=1, overlap=spec.overlap)
     prewarm_llc(machine, engine)
-    rng = random.Random(spec.seed)
+    rng = root_rng(spec.seed, "workload")
 
     for _ in range(warmup_txns):
         procedure, body = workload.next_transaction(rng)

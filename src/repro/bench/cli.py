@@ -21,11 +21,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 from repro.bench.figures import ALL_IDS, run_figure
 from repro.bench.report import render_figure
+from repro.util.clock import wall_timer
 
 SUBCOMMANDS = ("chaos", "validate", "perf", "trace", "top")
 
@@ -49,6 +49,29 @@ def _resolve_jobs(jobs: int) -> int:
 
         return default_jobs()
     return max(1, jobs)
+
+
+def _add_sanitize_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "arm the RNG-stream sanitizer (repro.lint.sanitizer): stdout is "
+            "bit-identical, violations go to stderr and fail the run"
+        ),
+    )
+
+
+def _report_sanitizer(label: str) -> int:
+    """Print the armed sanitizer's verdict to stderr; non-zero on violations."""
+    from repro.lint import sanitizer
+
+    print(f"[sanitize {label}: {sanitizer.summary()}]", file=sys.stderr)
+    if sanitizer.ok():
+        return 0
+    for violation in sanitizer.violations():
+        print(f"sanitize: {violation}", file=sys.stderr)
+    return 1
 
 
 def _chaos_main(argv: list[str]) -> int:
@@ -76,22 +99,31 @@ def _chaos_main(argv: list[str]) -> int:
         help="client acknowledgement mode when --replicas > 0",
     )
     _add_jobs_argument(parser)
+    _add_sanitize_argument(parser)
     args = parser.parse_args(argv)
 
-    from repro.faults.chaos import run_chaos_suite
+    from contextlib import nullcontext
 
-    text, ok = run_chaos_suite(
-        systems=args.systems,
-        workloads=args.workloads,
-        quick=args.quick,
-        seed=args.seed,
-        n_txns=args.txns,
-        n_crashes=args.crashes,
-        replicas=args.replicas,
-        ack=args.ack,
-        jobs=_resolve_jobs(args.jobs),
-    )
-    print(text)
+    from repro.faults.chaos import run_chaos_suite
+    from repro.lint import sanitizer
+
+    # The sanitizer only watches (TrackedRandom draws bit-identically),
+    # so the report on stdout matches the unsanitized run byte-for-byte.
+    with sanitizer.sanitizing(True) if args.sanitize else nullcontext():
+        text, ok = run_chaos_suite(
+            systems=args.systems,
+            workloads=args.workloads,
+            quick=args.quick,
+            seed=args.seed,
+            n_txns=args.txns,
+            n_crashes=args.crashes,
+            replicas=args.replicas,
+            ack=args.ack,
+            jobs=_resolve_jobs(args.jobs),
+        )
+        print(text)
+        if args.sanitize and _report_sanitizer("chaos"):
+            ok = False
     return 0 if ok else 1
 
 
@@ -308,6 +340,7 @@ def _figures_main(argv: list[str]) -> int:
             "a span-count note goes to stderr)"
         ),
     )
+    _add_sanitize_argument(parser)
     args = parser.parse_args(argv)
 
     mixed = sorted(set(args.figures) & set(SUBCOMMANDS))
@@ -322,37 +355,43 @@ def _figures_main(argv: list[str]) -> int:
     from contextlib import nullcontext
 
     from repro import obs
+    from repro.lint import sanitizer
 
     jobs = _resolve_jobs(args.jobs)
     ids = ALL_IDS if "all" in args.figures else args.figures
     status = 0
-    for figure_id in ids:
-        started = time.time()
-        try:
-            # Figure output is bit-identical with or without --obs; the
-            # span tally goes to stderr so stdout stays comparable.
-            with obs.using_obs(True) if args.obs else nullcontext():
-                output = run_figure(figure_id, quick=args.quick, jobs=jobs)
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            status = 2
-            continue
-        if isinstance(output, str):
-            print(output)
-        else:
-            for panel in output:
-                print(render_figure(panel))
-                print()
-            if args.obs:
-                n_spans = sum(
-                    len(events)
-                    for panel in output
-                    for r in panel.cells.values()
-                    for events in r.obs_buffers
-                )
-                print(f"[{figure_id}: {n_spans} span events recorded]", file=sys.stderr)
-        print(f"[{figure_id} regenerated in {time.time() - started:.1f}s]")
-        print()
+    # Like --obs, --sanitize must not change stdout: TrackedRandom draws
+    # bit-identically and the verdict goes to stderr.
+    with sanitizer.sanitizing(True) if args.sanitize else nullcontext():
+        for figure_id in ids:
+            started = wall_timer()
+            try:
+                # Figure output is bit-identical with or without --obs; the
+                # span tally goes to stderr so stdout stays comparable.
+                with obs.using_obs(True) if args.obs else nullcontext():
+                    output = run_figure(figure_id, quick=args.quick, jobs=jobs)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                status = 2
+                continue
+            if isinstance(output, str):
+                print(output)
+            else:
+                for panel in output:
+                    print(render_figure(panel))
+                    print()
+                if args.obs:
+                    n_spans = sum(
+                        len(events)
+                        for panel in output
+                        for r in panel.cells.values()
+                        for events in r.obs_buffers
+                    )
+                    print(f"[{figure_id}: {n_spans} span events recorded]", file=sys.stderr)
+            print(f"[{figure_id} regenerated in {wall_timer() - started:.1f}s]")
+            print()
+        if args.sanitize and _report_sanitizer("figures") and status == 0:
+            status = 1
     return status
 
 

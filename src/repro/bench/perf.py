@@ -23,10 +23,11 @@ from __future__ import annotations
 import json
 import os
 import platform
-import random
 import subprocess
-import time
 from pathlib import Path
+
+from repro.util.clock import perf_timer, timestamp, today
+from repro.util.rng import root_rng
 
 DEFAULT_RECORDS_DIR = Path("benchmarks") / "records"
 REGRESSION_TOLERANCE = 0.30
@@ -42,7 +43,7 @@ def bench_replay_events_per_sec(*, min_seconds: float = 0.5) -> dict:
     from repro.core.trace import AccessTrace
 
     machine = Machine()
-    rng = random.Random(0)
+    rng = root_rng(0, "perf-replay")
     trace = AccessTrace()
     trace.ifetch_run(4096, 3000, module=0)
     for _ in range(500):
@@ -55,11 +56,11 @@ def bench_replay_events_per_sec(*, min_seconds: float = 0.5) -> dict:
         machine.run_trace(trace)
     rounds = 0
     best = float("inf")
-    started = time.perf_counter()
-    while time.perf_counter() - started < min_seconds:
-        t0 = time.perf_counter()
+    started = perf_timer()
+    while perf_timer() - started < min_seconds:
+        t0 = perf_timer()
         machine.run_trace(trace)
-        elapsed = time.perf_counter() - t0
+        elapsed = perf_timer() - t0
         best = min(best, elapsed)
         rounds += 1
     return {
@@ -79,14 +80,14 @@ def bench_engine_txns_per_sec(*, n_txns: int = 3000) -> dict:
 
     engine = make_engine("hyper", EngineConfig(materialize_threshold=0))
     engine.create_table(TableSpec("t", microbench_schema(), 10**9))
-    rng = random.Random(2)
+    rng = root_rng(2, "perf-engine")
     for _ in range(50):
         engine.execute("p", lambda txn: txn.read("t", rng.randrange(10**9)))
-    started = time.perf_counter()
+    started = perf_timer()
     for _ in range(n_txns):
         key = rng.randrange(10**9)
         engine.execute("p", lambda txn: txn.read("t", key))
-    elapsed = time.perf_counter() - started
+    elapsed = perf_timer() - started
     return {
         "txns": n_txns,
         "wall_s": elapsed,
@@ -98,10 +99,10 @@ def bench_figure_sweep(figures: list[str], *, jobs: int | None = None) -> dict:
     """Wall-clock for regenerating *figures* with --quick budgets."""
     from repro.bench.figures import run_figure
 
-    started = time.perf_counter()
+    started = perf_timer()
     for figure_id in figures:
         run_figure(figure_id, quick=True, jobs=jobs)
-    elapsed = time.perf_counter() - started
+    elapsed = perf_timer() - started
     return {"figures": figures, "jobs": jobs or 1, "wall_s": elapsed}
 
 
@@ -141,8 +142,8 @@ def collect_record(*, quick: bool = False, jobs: int | None = None) -> dict:
         QUICK_SWEEP_FIGURES if quick else FULL_SWEEP_FIGURES, jobs=jobs
     )
     return {
-        "date": time.strftime("%Y-%m-%d"),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "date": today(),
+        "timestamp": timestamp(),
         "quick": quick,
         "python": platform.python_version(),
         "machine": platform.machine(),

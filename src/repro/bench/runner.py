@@ -26,10 +26,11 @@ configures VoltDB), and report per-worker average counters.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field, replace
 
 from repro import obs
+from repro.lint import sanitizer
+from repro.util.rng import root_rng
 from repro.core.counters import PerfCounters
 from repro.core.cpu import DEFAULT_OVERLAP, OverlapModel
 from repro.core.machine import Machine
@@ -120,6 +121,11 @@ class RunResult:
     # fingerprints — measurements are bit-identical with or without.
     obs_buffers: list = field(default_factory=list)
     obs_metrics: dict = field(default_factory=dict)
+    # RNG provenance (empty unless --sanitize): per-stream draw counts
+    # ("purpose@seed" -> draws), shipped back from worker processes so
+    # serial and --jobs N runs can be diffed stream by stream.  Like
+    # the obs payloads, excluded from result fingerprints.
+    rng_draws: dict = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -197,7 +203,7 @@ def run_repetition(spec: RunSpec, workload_factory, seed: int) -> RunResult:
     )
     prewarm_llc(machine, engine)
 
-    rng = random.Random(seed)
+    rng = root_rng(seed, "workload")
     partitioned = engine.is_partitioned and spec.n_cores > 1
 
     def run_phase(event_budget: int, min_txns: int) -> int:
@@ -265,6 +271,7 @@ def run_repetition(spec: RunSpec, workload_factory, seed: int) -> RunResult:
         # clock) so merged traces keep per-buffer timestamp monotonicity.
         obs_buffers=[obs.drain_events(obs_mark)] if obs.enabled() else [],
         obs_metrics=obs.drain_metrics(),
+        rng_draws=sanitizer.drain_draws() if sanitizer.enabled() else {},
     )
 
 
@@ -281,6 +288,10 @@ def aggregate_repetitions(spec: RunSpec, rep_results: list[RunResult]) -> RunRes
     measured_txns = 0
     obs_buffers: list = []
     metric_snaps: list[dict] = []
+    rng_draws: dict = {}
+    # The fold below is seed-order-dependent; an unordered container
+    # reaching it would be a determinism bug the sanitizer flags.
+    rep_results = sanitizer.checked_merge(rep_results, "aggregate_repetitions")
     for rep_result in rep_results:
         total.add(rep_result.counters)
         measured_txns += rep_result.measured_txns
@@ -290,6 +301,7 @@ def aggregate_repetitions(spec: RunSpec, rep_results: list[RunResult]) -> RunRes
         obs_buffers.extend(rep_result.obs_buffers)
         if rep_result.obs_metrics:
             metric_snaps.append(rep_result.obs_metrics)
+        sanitizer.merge_draws(rng_draws, rep_result.rng_draws)
     return RunResult(
         system=spec.system,
         counters=total,
@@ -299,6 +311,7 @@ def aggregate_repetitions(spec: RunSpec, rep_results: list[RunResult]) -> RunRes
         measured_txns=measured_txns,
         obs_buffers=obs_buffers,
         obs_metrics=obs.merge_snapshots(*metric_snaps) if metric_snaps else {},
+        rng_draws=rng_draws,
     )
 
 

@@ -24,6 +24,7 @@ from repro.storage.buffer_pool import BufferPool
 from repro.storage.index_factory import BTREE
 from repro.storage.lock_manager import LockConflict, LockManager, LockMode
 from repro.storage.wal import WriteAheadLog
+from repro.util.stablehash import stable_hash
 
 
 class ShoreMTTransaction(Transaction):
@@ -62,9 +63,9 @@ class ShoreMTTransaction(Transaction):
         table = eng.table(table_name)
         for page_no in eng.index_page_path(table, key):
             eng._w(trace, "bpool", 0.11)
-            eng.bpool.fix(hash(table_name) & 0xFFFF, page_no, trace, eng.mods["bpool"])
+            eng.bpool.fix(stable_hash(table_name) & 0xFFFF, page_no, trace, eng.mods["bpool"])
             eng._w(trace, "latch", 0.28)
-            eng.bpool.unfix(hash(table_name) & 0xFFFF, page_no, trace, eng.mods["bpool"])
+            eng.bpool.unfix(stable_hash(table_name) & 0xFFFF, page_no, trace, eng.mods["bpool"])
 
     def _fix_row_page(self, table_name: str, row_id: int) -> None:
         eng = self.engine
@@ -72,13 +73,13 @@ class ShoreMTTransaction(Transaction):
         page_bytes = eng.config.page_bytes
         page_no = table.heap.row_offset(row_id) // page_bytes
         eng._w(self.trace, "bpool", 0.11)
-        eng.bpool.fix(0x10000 | (hash(table_name) & 0xFFFF), page_no, self.trace, eng.mods["bpool"])
+        eng.bpool.fix(0x10000 | (stable_hash(table_name) & 0xFFFF), page_no, self.trace, eng.mods["bpool"])
         eng._w(self.trace, "latch", 0.25)
         # Slotted page: the slot array at the page head is read before
         # the tuple itself (one more dependent line on a random page).
         slot_line = table.heap.region.base_line + (page_no * page_bytes) // 64
         self.trace.load(slot_line, eng.mods["heap_code"], serial=True)
-        eng.bpool.unfix(0x10000 | (hash(table_name) & 0xFFFF), page_no, self.trace, eng.mods["bpool"])
+        eng.bpool.unfix(0x10000 | (stable_hash(table_name) & 0xFFFF), page_no, self.trace, eng.mods["bpool"])
 
     # -- operations -------------------------------------------------------------
 

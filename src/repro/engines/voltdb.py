@@ -29,6 +29,7 @@ from repro.engines.base import Engine, Transaction
 from repro.engines.config import EngineConfig
 from repro.storage.index_factory import CC_BTREE
 from repro.storage.wal import WriteAheadLog
+from repro.util.stablehash import stable_hash
 
 
 class VoltDBTransaction(Transaction):
@@ -56,7 +57,7 @@ class VoltDBTransaction(Transaction):
         touching more executor code than the single-statement micro."""
         eng = self.engine
         eng._w(self.trace, "java_fe", 0.06)  # plan cache lookup
-        seg = (hash(table) & 0xFFFF) % 5
+        seg = (stable_hash(table) & 0xFFFF) % 5
         start = 0.3 + 0.14 * seg
         eng._wseg(self.trace, "ee_exec", start, min(1.0, start + 0.14))
         eng._w(self.trace, "ee_exec", 0.15)

@@ -64,6 +64,7 @@ from repro.faults.injector import (
     WAL_GROUP_COMMIT,
 )
 from repro.faults.invariants import tpcc_invariants
+from repro.lint import sanitizer
 from repro.replication import ACK_MODES, ReplicationGroup, ReplicationSpec
 from repro.storage.recovery import (
     replay,
@@ -72,6 +73,7 @@ from repro.storage.recovery import (
     verify_against_engine,
     write_checkpoint,
 )
+from repro.util.rng import child_rng, root_rng
 from repro.workloads.microbench import MicroBenchmark
 from repro.workloads.tpcc import TPCC
 
@@ -271,7 +273,9 @@ class ChaosRunner:
         if armed:
             point = pool[segment % len(pool)]
             lo, hi = _AT_HIT_RANGES.get(point, _DEFAULT_AT_HIT_RANGE)
-            schedule.append(FaultSpec(point, at_hit=fault_rng.randint(lo, hi)))
+            with sanitizer.scope("fault-schedule"):
+                at_hit = fault_rng.randint(lo, hi)
+            schedule.append(FaultSpec(point, at_hit=at_hit))
         if self.spec.abort_probability > 0.0:
             schedule.append(
                 FaultSpec(
@@ -284,9 +288,9 @@ class ChaosRunner:
         if net_rng is not None:
             kinds = self.spec.net_kinds or NETWORK_KINDS
             kind = kinds[segment % len(kinds)]
-            schedule.append(
-                FaultSpec(NET_SEND, kind=kind, at_hit=net_rng.randint(*_NET_AT_HIT_RANGE))
-            )
+            with sanitizer.scope("net"):
+                net_at_hit = net_rng.randint(*_NET_AT_HIT_RANGE)
+            schedule.append(FaultSpec(NET_SEND, kind=kind, at_hit=net_at_hit))
         return FaultInjector(schedule, seed=self.spec.seed * 1000 + segment)
 
     def _named_problems(self, state, engine) -> list[str]:
@@ -320,7 +324,8 @@ class ChaosRunner:
             point=crash.point, hit=crash.hit, txn_index=attempted,
         ) as recover_span:
             total.merge(engine.stats)
-            image = engine.recovery_log().crash_image(image_rng)
+            with sanitizer.scope("image"):
+                image = engine.recovery_log().crash_image(image_rng)
             state = replay(image)
             fresh, fresh_log = self._fresh_engine()
             restore_engine(state, fresh)
@@ -396,17 +401,17 @@ class ChaosRunner:
 
     def _run(self) -> ChaosResult:
         spec = self.spec
-        fault_rng = random.Random(spec.seed)
-        txn_rng = random.Random(spec.seed + 1)
+        fault_rng = root_rng(spec.seed, "fault-schedule")
+        txn_rng = root_rng(spec.seed + 1, "workload")
         # Crash-image draws (how much of the unflushed tail survives) get
         # their own child stream: fault_rng is then *only* consumed by
         # schedule draws, so the crash schedule is byte-identical whether
         # or not replication is on (failover never tears the winner's log).
-        image_rng = random.Random(f"{spec.seed}:image")
+        image_rng = child_rng(spec.seed, "image")
         replicated = spec.replicas > 0
         # Network-fault schedules draw from their own child stream so
         # the crash schedule matches the replication-off run bit-for-bit.
-        net_rng = random.Random(f"{spec.seed}:net") if replicated else None
+        net_rng = child_rng(spec.seed, "net") if replicated else None
         group: ReplicationGroup | None = None
         if replicated:
             group = ReplicationGroup(
@@ -434,7 +439,8 @@ class ChaosRunner:
             else:
                 engine.attach_injector(injector)
             for _ in range(per_segment):
-                procedure, body = self.workload.next_transaction(txn_rng)
+                with sanitizer.scope("workload"):
+                    procedure, body = self.workload.next_transaction(txn_rng)
                 attempted += 1
                 try:
                     if group is not None:
@@ -591,6 +597,9 @@ def run_chaos_suite(
             outcomes = list(pool.map(_run_suite_task, tasks, chunksize=1))
     else:
         outcomes = [_run_suite_task(task) for task in tasks]
+    # Suite cells fold in submission order; the sanitizer flags any
+    # unordered collection sneaking into this merge point.
+    outcomes = sanitizer.checked_merge(outcomes, "run_chaos_suite")
     lines = [text for text, _, _ in outcomes]
     all_ok = all(ok for _, ok, _ in outcomes)
     if all_ok:

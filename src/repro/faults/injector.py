@@ -28,6 +28,8 @@ from dataclasses import dataclass
 
 from repro import obs
 from repro.engines.base import AbortReason, TransactionAborted
+from repro.lint import sanitizer
+from repro.util.rng import child_rng
 
 # -- injection points --------------------------------------------------------
 # The literals below are fired by the instrumented modules (wal.py,
@@ -182,7 +184,7 @@ class FaultInjector:
         across processes, independent of every other kind's stream)."""
         rng = self._streams.get(kind)
         if rng is None:
-            rng = self._streams[kind] = random.Random(f"{self.seed}:{kind}")
+            rng = self._streams[kind] = child_rng(self.seed, kind)
         return rng
 
     def fire(self, point: str, **context) -> None:
@@ -203,7 +205,10 @@ class FaultInjector:
             if spec.at_hit is not None:
                 triggered = spec.at_hit == hit
             else:
-                triggered = self.stream(spec.kind).random() < spec.probability
+                # The draw must come from this kind's own child stream;
+                # the sanitizer flags any other stream drawn in here.
+                with sanitizer.scope(spec.kind):
+                    triggered = self.stream(spec.kind).random() < spec.probability
             if not triggered:
                 continue
             if spec.kind == ABORT and self._aborts_suspended:
@@ -244,7 +249,10 @@ class FaultInjector:
             if spec.at_hit is not None:
                 triggered = spec.at_hit == hit
             else:
-                triggered = self.stream(spec.kind).random() < spec.probability
+                # The draw must come from this kind's own child stream;
+                # the sanitizer flags any other stream drawn in here.
+                with sanitizer.scope(spec.kind):
+                    triggered = self.stream(spec.kind).random() < spec.probability
             if not triggered:
                 continue
             if self._remaining[i] > 0:

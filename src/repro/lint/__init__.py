@@ -1,0 +1,57 @@
+"""repro.lint — determinism & simulation-correctness analysis.
+
+Two halves, one contract:
+
+* **Static**: an AST rule engine (:mod:`repro.lint.engine`,
+  :mod:`repro.lint.rules`) with eight determinism rules, a fingerprint
+  suppression baseline (:mod:`repro.lint.baseline`), and the
+  ``repro-lint`` CLI (:mod:`repro.lint.cli`).
+* **Runtime**: the RNG-stream sanitizer (:mod:`repro.lint.sanitizer`)
+  — provenance-tagged streams, cross-stream draw detection, serial vs
+  parallel draw-count comparison, and unordered-merge guards, armed by
+  ``repro-bench ... --sanitize``.
+
+Everything in the package is stdlib-only and imports nothing from the
+rest of ``repro``, so any layer (including ``repro.obs`` and the fault
+machinery) can use the sanitizer without import cycles.
+
+Quickstart::
+
+    from repro.lint import lint_paths
+    for finding in lint_paths(["src"]):
+        print(finding.render())
+
+    from repro.lint import sanitizer
+    with sanitizer.sanitizing():
+        ...  # run anything; rng factories now hand out TrackedRandom
+    assert sanitizer.ok(), sanitizer.violations()
+"""
+
+from repro.lint import sanitizer
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.engine import (
+    FileContext,
+    Finding,
+    LintConfig,
+    LintEngine,
+    Rule,
+    iter_python_files,
+    lint_paths,
+)
+from repro.lint.rules import default_rules, rule_names
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintEngine",
+    "Rule",
+    "apply_baseline",
+    "default_rules",
+    "iter_python_files",
+    "lint_paths",
+    "load_baseline",
+    "rule_names",
+    "sanitizer",
+    "write_baseline",
+]

@@ -1,0 +1,73 @@
+"""The suppression baseline: grandfathered findings, pinned by fingerprint.
+
+A baseline file holds one fingerprint per line (trailing context is
+informational), so adopting a new rule on an old codebase is a
+two-step: ``repro-lint --update-baseline`` pins today's findings,
+and from then on only *new* findings fail the build.  The repository
+ships with an **empty** baseline (``.repro-lint-baseline``) — the
+initial clean-up sweep fixed everything — and keeping it empty is the
+point: every entry is a debt with a fingerprint on it.
+
+Fingerprints come from :meth:`repro.lint.engine.Finding.fingerprint`
+(path tail + rule + source line), so they survive line-number drift;
+entries whose finding disappeared are reported as *stale* so the file
+shrinks back.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.engine import Finding
+
+_HEADER = [
+    "# repro-lint suppression baseline.",
+    "# One grandfathered finding per line: <fingerprint> <location> <rule>: <message>",
+    "# Regenerate with: repro-lint <paths> --update-baseline",
+    "# Keep this file empty: every entry is suppressed technical debt.",
+]
+
+
+def load_baseline(path) -> set[str]:
+    """Fingerprints in the baseline file ({} when absent)."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    fingerprints: set[str] = set()
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fingerprints.add(line.split()[0])
+    return fingerprints
+
+
+def write_baseline(findings: Iterable[Finding], path) -> int:
+    """Pin *findings* into the baseline file; returns the entry count."""
+    path = Path(path)
+    entries: dict[str, str] = {}
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        entries.setdefault(
+            finding.fingerprint(),
+            f"{finding.fingerprint()} {finding.path}:{finding.line} "
+            f"{finding.rule}: {finding.message}",
+        )
+    lines = list(_HEADER) + list(entries.values())
+    path.write_text("\n".join(lines) + "\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: list[Finding], fingerprints: set[str]
+) -> tuple[list[Finding], int, set[str]]:
+    """Split *findings* against the baseline.
+
+    Returns ``(kept, suppressed_count, stale_fingerprints)`` — *kept*
+    are the findings that should fail the run; *stale* entries no
+    longer match anything and can be deleted from the file.
+    """
+    kept = [f for f in findings if f.fingerprint() not in fingerprints]
+    suppressed = len(findings) - len(kept)
+    stale = fingerprints - {f.fingerprint() for f in findings}
+    return kept, suppressed, stale

@@ -28,10 +28,11 @@ the monotonicity guarantee survives merging.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
+
+from repro.util.clock import perf_timer_ns
 
 PHASE_COMPLETE = "X"
 PHASE_INSTANT = "i"
@@ -96,7 +97,7 @@ NOOP_SPAN = _NoopSpan()
 class Tracer:
     """An append-only buffer of span events with one monotonic clock."""
 
-    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+    def __init__(self, clock: Callable[[], int] = perf_timer_ns) -> None:
         self.clock = clock
         self.epoch_ns = clock()
         self.events: list[SpanEvent] = []

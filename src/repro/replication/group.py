@@ -38,12 +38,12 @@ single-node contract.
 
 from __future__ import annotations
 
-import random
 import zlib
 from dataclasses import dataclass, field
 
 from repro import obs
 from repro.engines.base import COMMITTED
+from repro.lint import sanitizer
 from repro.replication.network import SimNetwork
 from repro.storage.recovery import (
     RecoveredState,
@@ -53,6 +53,7 @@ from repro.storage.recovery import (
     write_checkpoint,
 )
 from repro.storage.wal import LogImage, LogRecord
+from repro.util.rng import child_rng
 
 ASYNC = "async"
 SYNC_ONE = "sync-one"
@@ -198,7 +199,7 @@ class ReplicationGroup:
         # txn id -> commit LSN for transactions acknowledged under a
         # durable mode (sync-one / quorum) in the current epoch.
         self.acked: dict[int, int] = {}
-        self._jitter_rng = random.Random(f"{seed}:client")
+        self._jitter_rng = child_rng(seed, "client")
         self.failovers: list[FailoverReport] = []
         self.submitted = 0
         self.acked_count = 0
@@ -308,10 +309,14 @@ class ReplicationGroup:
                 if attempt > self.spec.max_ack_retries:
                     ack_span.set(attempts=attempt, timed_out=True)
                     return False
+                with sanitizer.scope("client"):
+                    jitter = self._jitter_rng.randrange(
+                        0, self.spec.backoff_base_ticks + 1
+                    )
                 backoff = min(
                     self.spec.backoff_base_ticks * 2 ** (attempt - 1),
                     self.spec.backoff_cap_ticks,
-                ) + self._jitter_rng.randrange(0, self.spec.backoff_base_ticks + 1)
+                ) + jitter
                 self.ack_retries += 1
                 self.backoff_ticks += backoff
                 obs.inc("repl.ack_retries", mode=self.spec.ack)

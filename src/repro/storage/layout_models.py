@@ -30,6 +30,7 @@ from repro.core.trace import AccessTrace
 from repro.storage.address_space import DataAddressSpace, Region
 from repro.storage.btree import NODE_HEADER_BYTES, binary_search_probes
 from repro.storage.hash_index import fibonacci_hash
+from repro.util.stablehash import stable_hash
 
 _TOMBSTONE = object()
 
@@ -71,7 +72,7 @@ class AnalyticIndexBase:
         """
         if isinstance(key, int) and 0 <= key < self.n_keys:
             return key / self.n_keys
-        return _mix64(hash(key)) / 2**64
+        return _mix64(stable_hash(key)) / 2**64
 
     # Subclasses provide: probe/insert/delete/emission.
 
@@ -348,7 +349,7 @@ class AnalyticHash(AnalyticIndexBase):
         With load factor a, P(position >= 1) ~ a/2 under Poisson-
         distributed bucket occupancy; we threshold a per-key hash.
         """
-        h = _mix64(hash(key) ^ 0xC0FFEE)
+        h = _mix64(stable_hash(key) ^ 0xC0FFEE)
         u = h / 2**64
         p_extra = self.load_factor / 2
         position = 0
@@ -357,12 +358,12 @@ class AnalyticHash(AnalyticIndexBase):
         return position
 
     def probe_lines(self, key) -> list[int]:
-        bucket = fibonacci_hash(hash(key), self.n_buckets)
+        bucket = fibonacci_hash(stable_hash(key), self.n_buckets)
         lines = [self._bucket_region.line(bucket * self.SLOT_BYTES)]
         # Entry addresses are insertion-ordered, i.e. uncorrelated with
         # the bucket: place them pseudo-randomly in the entry region.
         for i in range(self._chain_position(key) + 1):
-            entry_idx = _mix64(hash(key) + i * 0x5851F42D) % max(1, self.n_keys)
+            entry_idx = _mix64(stable_hash(key) + i * 0x5851F42D) % max(1, self.n_keys)
             lines.append(self._entry_region.line(entry_idx * self.ENTRY_BYTES))
         return lines
 

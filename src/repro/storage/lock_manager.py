@@ -24,6 +24,7 @@ from repro import obs
 from repro.core.trace import AccessTrace
 from repro.storage.address_space import DataAddressSpace
 from repro.storage.hash_index import fibonacci_hash
+from repro.util.stablehash import stable_hash
 
 _LOCK_HEAD_BYTES = 64
 
@@ -92,7 +93,7 @@ class LockManager:
     def _emit(self, resource, trace: AccessTrace | None, mod: int) -> None:
         if trace is None:
             return
-        bucket = fibonacci_hash(hash(resource), self.n_buckets)
+        bucket = fibonacci_hash(stable_hash(resource), self.n_buckets)
         line = self._region.line(bucket * _LOCK_HEAD_BYTES)
         trace.load(line, mod, serial=True)
         trace.store(line, mod)  # lock head update (holder list / counters)

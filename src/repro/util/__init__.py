@@ -1,0 +1,35 @@
+"""repro.util — small stdlib-only helpers shared across the package.
+
+Three modules, all deliberately tiny and import-cycle-free (they import
+nothing from the rest of ``repro``), so any layer — including
+``repro.obs``, which must stay importable while the package is still
+initialising — can use them:
+
+* :mod:`repro.util.clock` — the **only** module where reading the host
+  clock is legal.  ``repro-lint``'s wall-clock rule allowlists it;
+  everything else must route display timing through
+  :func:`~repro.util.clock.wall_timer` and self-measurement through
+  :func:`~repro.util.clock.perf_timer`.
+* :mod:`repro.util.rng` — the seeded-RNG factory idiom
+  (:func:`~repro.util.rng.child_rng`, :func:`~repro.util.rng.root_rng`).
+  ``repro-lint``'s rng-factory rule bans ``random.Random(...)``
+  construction anywhere else in sim code.
+* :mod:`repro.util.stablehash` — :func:`~repro.util.stablehash.stable_hash`,
+  the process-stable ``hash()`` replacement for placement decisions
+  keyed by strings (builtin str hashing is randomized per process).
+"""
+
+from repro.util.clock import perf_timer, perf_timer_ns, today, timestamp, wall_timer
+from repro.util.rng import child_rng, root_rng
+from repro.util.stablehash import stable_hash
+
+__all__ = [
+    "child_rng",
+    "perf_timer",
+    "perf_timer_ns",
+    "root_rng",
+    "stable_hash",
+    "timestamp",
+    "today",
+    "wall_timer",
+]

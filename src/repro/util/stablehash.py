@@ -1,0 +1,46 @@
+"""Process-stable hashing for simulated data placement.
+
+Builtin ``hash()`` on ``str``/``bytes`` is randomized per process
+(PYTHONHASHSEED), so feeding it into bucket or segment selection makes
+*simulated results* differ run to run — the bug that made VoltDB's
+figure rows wobble until the ``--sanitize`` parity gate caught it.
+Every placement decision keyed by a string (lock-table buckets, plan
+-fragment segments, buffer-tag spaces) must use :func:`stable_hash`
+instead.
+
+Integers hash to themselves (matching ``hash(int)`` for the word-sized
+values the simulator uses), so int-keyed call sites can migrate without
+changing any existing deterministic placement.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def stable_hash(value) -> int:
+    """Deterministic ``hash()`` replacement for placement decisions.
+
+    Supports the key shapes the simulator uses: ints (identity, like
+    ``hash()`` on word-sized ints), str/bytes (CRC-based, stable across
+    processes), tuples (recursive mix), None, bools, floats.
+    """
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return zlib.crc32(value.encode("utf-8"))
+    if isinstance(value, (bytes, bytearray)):
+        return zlib.crc32(bytes(value))
+    if isinstance(value, tuple):
+        h = 0x345678
+        for item in value:
+            h = ((h * 1000003) ^ stable_hash(item)) & _MASK
+        return h
+    if value is None:
+        return 0x6E6F6E65  # "none"
+    # Floats and other hash-stable scalars: builtin hash is fine.
+    return hash(value)

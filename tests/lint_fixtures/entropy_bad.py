@@ -1,0 +1,14 @@
+"""BAD: OS entropy sources (entropy rule)."""
+
+import os
+import random
+import secrets
+import uuid
+
+
+def fresh_ids():
+    token = os.urandom(8)  # kernel entropy
+    run_id = uuid.uuid4()  # random UUID
+    nonce = secrets.token_hex(4)  # secrets module
+    rng = random.SystemRandom()  # /dev/urandom-backed Random
+    return token, run_id, nonce, rng

@@ -1,0 +1,8 @@
+"""GOOD: all randomness derives from the run seed."""
+
+from repro.util.rng import child_rng
+
+
+def fresh_ids(seed):
+    rng = child_rng(seed, "ids")
+    return rng.getrandbits(64), rng.getrandbits(128)

@@ -1,0 +1,7 @@
+"""BAD: exact equality on fractional float constants (float-eq rule)."""
+
+
+def classify(ipc, stall_share):
+    if ipc == 0.5:  # accumulated cycles never land exactly here
+        return "half"
+    return stall_share != 0.25

@@ -1,0 +1,9 @@
+"""GOOD: tolerant comparison (or integral counters) instead of exact ==."""
+
+import math
+
+
+def classify(ipc, stall_cycles, total_cycles):
+    if math.isclose(ipc, 0.5, rel_tol=1e-9):
+        return "half"
+    return stall_cycles * 4 != total_cycles  # integral counters may use ==

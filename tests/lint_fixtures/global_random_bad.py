@@ -1,0 +1,11 @@
+"""BAD: draws on the shared module-level RNG (global-random rule)."""
+
+import random
+from random import shuffle
+
+
+def pick(items):
+    random.seed(0)  # reseeds shared state for everyone
+    winner = random.choice(items)
+    shuffle(items)  # aliased from-import of the same state
+    return winner, random.randint(0, 10)

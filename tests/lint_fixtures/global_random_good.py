@@ -1,0 +1,10 @@
+"""GOOD: draws on a private, provenance-tagged stream."""
+
+from repro.util.rng import child_rng
+
+
+def pick(items, seed):
+    rng = child_rng(seed, "pick")
+    winner = rng.choice(items)
+    rng.shuffle(items)
+    return winner, rng.randint(0, 10)

@@ -1,0 +1,15 @@
+"""BAD: mutable defaults (mutable-default rule)."""
+
+from dataclasses import dataclass
+
+
+def collect(item, into=[]):  # shared across calls
+    into.append(item)
+    return into
+
+
+@dataclass
+class Report:
+    name: str = "run"
+    problems: list = []  # shared across instances
+    extra: dict = {}

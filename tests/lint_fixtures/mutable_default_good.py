@@ -1,0 +1,16 @@
+"""GOOD: None sentinels and field(default_factory=...)."""
+
+from dataclasses import dataclass, field
+
+
+def collect(item, into=None):
+    into = [] if into is None else into
+    into.append(item)
+    return into
+
+
+@dataclass
+class Report:
+    name: str = "run"
+    problems: list = field(default_factory=list)
+    extra: dict = field(default_factory=dict)

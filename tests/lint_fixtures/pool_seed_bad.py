@@ -1,0 +1,12 @@
+"""BAD: process-pool fan-out with no seed threaded (pool-seed rule)."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_cell(task):
+    return task
+
+
+def fan_out(tasks):
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(run_cell, tasks, chunksize=1))

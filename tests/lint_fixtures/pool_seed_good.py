@@ -1,0 +1,13 @@
+"""GOOD: a per-task seed rides in the task tuple."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_cell(task):
+    return task
+
+
+def fan_out(tasks, base_seed):
+    seeded = [(task, base_seed + 1000 * rep) for rep, task in enumerate(tasks)]
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(run_cell, seeded, chunksize=1))

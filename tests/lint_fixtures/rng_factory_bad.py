@@ -1,0 +1,11 @@
+"""BAD: random.Random constructed outside the factory (rng-factory rule)."""
+
+import random
+from random import Random
+
+
+def streams(seed):
+    ad_hoc = random.Random(seed)  # provenance-free stream
+    aliased = Random(f"{seed}:x")  # aliased constructor
+    unseeded = random.Random()  # argless: seeds from OS entropy
+    return ad_hoc, aliased, unseeded

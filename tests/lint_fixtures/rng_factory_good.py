@@ -1,0 +1,9 @@
+"""GOOD: streams come from the seeded factories."""
+
+from repro.util.rng import child_rng, root_rng
+
+
+def streams(seed):
+    top = root_rng(seed, "workload")
+    kid = child_rng(seed, "fault-schedule")
+    return top, kid

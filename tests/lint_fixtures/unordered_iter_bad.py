@@ -1,0 +1,11 @@
+"""BAD: set iteration order reaching results (unordered-iter rule)."""
+
+
+def merge(left, right):
+    report = []
+    for name in set(left) | set(right):  # arbitrary order into the report
+        report.append(name)
+    rows = [n.upper() for n in {x for x in left}]  # comprehension over a set
+    joined = ",".join({"a", "b", "c"})  # joined in hash order
+    pinned = list(left.keys() | right.keys())  # keys-view union is a set
+    return report, rows, joined, pinned

@@ -1,0 +1,11 @@
+"""GOOD: sets sorted before their order can matter."""
+
+
+def merge(left, right):
+    report = []
+    for name in sorted(set(left) | set(right)):
+        report.append(name)
+    rows = [n.upper() for n in sorted({x for x in left})]
+    joined = ",".join(sorted({"a", "b", "c"}))
+    pinned = sorted(left.keys() | right.keys())
+    return report, rows, joined, pinned

@@ -1,0 +1,13 @@
+"""BAD: host-clock reads in a sim path (wall-clock rule)."""
+
+import time
+from time import perf_counter as pc
+from datetime import datetime
+
+
+def measure(run):
+    started = time.time()  # direct dotted read
+    run()
+    elapsed = pc() - started  # aliased from-import read
+    stamp = datetime.now()  # datetime's wall clock
+    return elapsed, stamp

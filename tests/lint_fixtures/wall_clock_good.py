@@ -1,0 +1,9 @@
+"""GOOD: host-clock reads routed through repro.util.clock."""
+
+from repro.util.clock import timestamp, wall_timer
+
+
+def measure(run):
+    started = wall_timer()
+    run()
+    return wall_timer() - started, timestamp()

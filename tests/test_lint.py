@@ -1,0 +1,219 @@
+"""repro-lint tests: rule corpus, engine mechanics, baseline, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    LintConfig,
+    LintEngine,
+    lint_paths,
+    rule_names,
+)
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+# Fixture files live under tests/, which auto-classification treats as
+# non-sim; force sim so the sim-only rules run on them.
+SIM_CONFIG = LintConfig(treat_as_sim=True)
+
+RULES = tuple(rule_names())
+
+
+def lint_fixture(name: str, select: tuple[str, ...] | None = None) -> list[Finding]:
+    config = LintConfig(select=select, treat_as_sim=True)
+    return LintEngine(config=config).lint_file(FIXTURES / name)
+
+
+class TestRuleCatalogue:
+    def test_eight_rules_registered(self):
+        assert len(RULES) == 8
+        assert RULES == (
+            "wall-clock", "entropy", "global-random", "rng-factory",
+            "unordered-iter", "float-eq", "mutable-default", "pool-seed",
+        )
+
+    @pytest.mark.parametrize("rule", RULES)
+    def test_bad_fixture_fails_its_rule(self, rule):
+        name = rule.replace("-", "_") + "_bad.py"
+        findings = lint_fixture(name, select=(rule,))
+        assert findings, f"{name} should trip the {rule} rule"
+        assert all(f.rule == rule for f in findings)
+
+    @pytest.mark.parametrize("rule", RULES)
+    def test_good_fixture_is_clean_under_every_rule(self, rule):
+        name = rule.replace("-", "_") + "_good.py"
+        findings = lint_fixture(name)  # all eight rules
+        assert findings == [], [f.render() for f in findings]
+
+    def test_bad_fixtures_flag_every_call_site(self):
+        # wall_clock_bad has three distinct clock reads; the rule must
+        # see the aliased from-import as well as the dotted ones.
+        findings = lint_fixture("wall_clock_bad.py", select=("wall-clock",))
+        assert len(findings) >= 3
+
+    def test_argless_random_gets_the_entropy_message(self):
+        findings = lint_fixture("rng_factory_bad.py", select=("rng-factory",))
+        assert any("argless" in f.message for f in findings)
+        assert any("argless" not in f.message for f in findings)
+
+
+class TestSimPathClassification:
+    def test_sim_only_rules_skip_tests(self):
+        source = "import random\nrng = random.Random(0)\n"
+        engine = LintEngine(config=LintConfig())
+        assert engine.lint_source(source, Path("tests/test_x.py")) == []
+        assert engine.lint_source(source, Path("src/repro/core/x.py"))
+
+    def test_conftest_and_benchmarks_are_not_sim(self):
+        config = LintConfig()
+        assert not config.is_sim_path(Path("src/conftest.py"))
+        assert not config.is_sim_path(Path("benchmarks/bench_x.py"))
+        assert config.is_sim_path(Path("src/repro/core/machine.py"))
+
+    def test_non_sim_rules_still_run_on_tests(self):
+        source = "import os\ntoken = os.urandom(8)\n"
+        engine = LintEngine(config=LintConfig())
+        findings = engine.lint_source(source, Path("tests/test_x.py"))
+        assert [f.rule for f in findings] == ["entropy"]
+
+    def test_allowlists_exempt_the_clock_and_factory_modules(self):
+        engine = LintEngine(config=LintConfig())
+        clock = "import time\nnow = time.time()\n"
+        rng = "import random\nr = random.Random(0)\n"
+        assert engine.lint_source(clock, Path("src/repro/util/clock.py")) == []
+        assert engine.lint_source(rng, Path("src/repro/util/rng.py")) == []
+        assert engine.lint_source(clock, Path("src/repro/core/machine.py"))
+        assert engine.lint_source(rng, Path("src/repro/core/machine.py"))
+
+
+class TestSuppression:
+    def test_inline_pragma_narrows_to_named_rules(self):
+        engine = LintEngine(config=LintConfig(treat_as_sim=True))
+        path = Path("src/repro/x.py")
+        src = "import random\nr = random.Random(0)  # repro-lint: disable=rng-factory\n"
+        assert engine.lint_source(src, path) == []
+        src = "import random\nr = random.Random(0)  # repro-lint: disable=wall-clock\n"
+        assert engine.lint_source(src, path)
+
+    def test_bare_disable_suppresses_everything_on_the_line(self):
+        engine = LintEngine(config=LintConfig(treat_as_sim=True))
+        src = "import random\nr = random.Random(0)  # repro-lint: disable\n"
+        assert engine.lint_source(src, Path("src/repro/x.py")) == []
+
+    def test_skip_file_pragma(self):
+        engine = LintEngine(config=LintConfig(treat_as_sim=True))
+        src = "# repro-lint: skip-file\nimport random\nr = random.Random(0)\n"
+        assert engine.lint_source(src, Path("src/repro/x.py")) == []
+
+
+class TestBaseline:
+    def _finding(self) -> Finding:
+        return Finding("src/repro/x.py", 3, 0, "rng-factory", "msg", "r = random.Random(0)")
+
+    def test_fingerprint_survives_line_drift(self):
+        a = self._finding()
+        b = Finding(a.path, 99, 4, a.rule, a.message, a.snippet)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_distinguishes_rule_and_snippet(self):
+        a = self._finding()
+        other_rule = Finding(a.path, a.line, a.col, "entropy", a.message, a.snippet)
+        other_line = Finding(a.path, a.line, a.col, a.rule, a.message, "x = 1")
+        assert a.fingerprint() != other_rule.fingerprint()
+        assert a.fingerprint() != other_line.fingerprint()
+
+    def test_round_trip_and_stale_detection(self, tmp_path):
+        baseline = tmp_path / "baseline"
+        finding = self._finding()
+        assert write_baseline([finding], baseline) == 1
+        pins = load_baseline(baseline)
+        assert pins == {finding.fingerprint()}
+        kept, suppressed, stale = apply_baseline([finding], pins)
+        assert (kept, suppressed, stale) == ([], 1, set())
+        kept, suppressed, stale = apply_baseline([], pins)
+        assert kept == [] and suppressed == 0 and stale == pins
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope") == set()
+
+
+class TestRepositoryIsClean:
+    """The acceptance gate: the library lints clean, baseline empty."""
+
+    def test_src_has_no_findings(self):
+        findings = lint_paths([REPO_ROOT / "src"])
+        assert findings == [], [f.render() for f in findings]
+
+    def test_tests_have_no_findings(self):
+        findings = lint_paths([REPO_ROOT / "tests"])
+        assert findings == [], [f.render() for f in findings]
+
+    def test_checked_in_baseline_is_empty(self):
+        assert load_baseline(REPO_ROOT / ".repro-lint-baseline") == set()
+
+    def test_fixture_corpus_is_excluded_from_directory_walks(self):
+        findings = lint_paths([REPO_ROOT / "tests"])
+        assert not any("lint_fixtures" in f.path for f in findings)
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert lint_main([str(target), "--no-baseline"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one_and_render_locations(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import os\ntoken = os.urandom(8)\n")
+        assert lint_main([str(target), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "dirty.py:2" in out and "entropy" in out
+
+    def test_unknown_rule_and_missing_path_exit_two(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert lint_main([str(target), "--rules", "no-such-rule"]) == 2
+        assert lint_main([str(tmp_path / "absent.py")]) == 2
+        capsys.readouterr()
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import os\ntoken = os.urandom(8)\n")
+        baseline = tmp_path / "baseline"
+        assert lint_main([str(target), "--baseline", str(baseline), "--update-baseline"]) == 0
+        assert lint_main([str(target), "--baseline", str(baseline)]) == 0
+        assert "suppressed by baseline" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import os\ntoken = os.urandom(8)\n")
+        assert lint_main([str(target), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "entropy"
+        assert len(payload[0]["fingerprint"]) == 16
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+    def test_sim_paths_always_flag(self, tmp_path, capsys):
+        target = tmp_path / "test_thing.py"
+        target.write_text("import random\nr = random.Random(0)\n")
+        assert lint_main([str(target), "--no-baseline"]) == 0
+        assert lint_main([str(target), "--no-baseline", "--sim-paths", "always"]) == 1
+        capsys.readouterr()
+
+    def test_syntax_error_reported_as_parse_error(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def f(:\n")
+        assert lint_main([str(target), "--no-baseline"]) == 1
+        assert "parse-error" in capsys.readouterr().out
