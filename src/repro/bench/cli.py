@@ -98,29 +98,59 @@ def _chaos_main(argv: list[str]) -> int:
         "--ack", default="async", choices=("async", "sync-one", "quorum"),
         help="client acknowledgement mode when --replicas > 0",
     )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="run the sharded 2PC chaos suite on N shard primaries "
+        "(0 = classic single-node suite)",
+    )
+    parser.add_argument(
+        "--remote-pct", type=float, default=20.0,
+        help="multisite fraction of NewOrder/Payment when --shards > 0",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=1,
+        help="number of seeds to sweep, starting at --seed (sharded suite)",
+    )
     _add_jobs_argument(parser)
     _add_sanitize_argument(parser)
     args = parser.parse_args(argv)
 
     from contextlib import nullcontext
 
-    from repro.faults.chaos import run_chaos_suite
     from repro.lint import sanitizer
 
     # The sanitizer only watches (TrackedRandom draws bit-identically),
     # so the report on stdout matches the unsanitized run byte-for-byte.
     with sanitizer.sanitizing(True) if args.sanitize else nullcontext():
-        text, ok = run_chaos_suite(
-            systems=args.systems,
-            workloads=args.workloads,
-            quick=args.quick,
-            seed=args.seed,
-            n_txns=args.txns,
-            n_crashes=args.crashes,
-            replicas=args.replicas,
-            ack=args.ack,
-            jobs=_resolve_jobs(args.jobs),
-        )
+        if args.shards > 0:
+            from repro.sharding import run_sharded_chaos_suite
+
+            system = (args.systems or ["shore-mt"])[0]
+            text, ok = run_sharded_chaos_suite(
+                system=system,
+                n_shards=args.shards,
+                remote_pct=args.remote_pct,
+                replicas=args.replicas,
+                ack=args.ack,
+                seeds=range(args.seed, args.seed + args.seeds),
+                n_txns=args.txns,
+                n_crashes=args.crashes,
+                jobs=_resolve_jobs(args.jobs),
+            )
+        else:
+            from repro.faults.chaos import run_chaos_suite
+
+            text, ok = run_chaos_suite(
+                systems=args.systems,
+                workloads=args.workloads,
+                quick=args.quick,
+                seed=args.seed,
+                n_txns=args.txns,
+                n_crashes=args.crashes,
+                replicas=args.replicas,
+                ack=args.ack,
+                jobs=_resolve_jobs(args.jobs),
+            )
         print(text)
         if args.sanitize and _report_sanitizer("chaos"):
             ok = False

@@ -6,7 +6,7 @@ from importlib import import_module
 
 REGISTRY: dict[str, str] = {
     "table1": "repro.bench.figures.table1",
-    **{f"fig{i}": f"repro.bench.figures.fig{i:02d}" for i in range(1, 28)},
+    **{f"fig{i}": f"repro.bench.figures.fig{i:02d}" for i in range(1, 29)},
 }
 
 ALL_IDS = list(REGISTRY)

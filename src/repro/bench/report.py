@@ -212,3 +212,49 @@ def render_chaos_result(result) -> str:
     lines.append(f"  digest {result.digest()}")
     lines.append(render_engine_stats(stats))
     return "\n".join(lines)
+
+
+def render_sharded_chaos_result(result) -> str:
+    """Report for one :class:`repro.sharding.ShardedChaosResult`."""
+    repl = f" replicas={result.replicas} ack={result.ack}" if result.replicas else ""
+    header = (
+        f"sharded chaos {result.system} x tpcc "
+        f"[shards={result.n_shards} remote={result.remote_pct:g}%{repl} "
+        f"seed={result.seed}]: {'PASS' if result.ok else 'FAIL'}"
+    )
+    c = result.counters
+    lines = [header, _rule(len(header))]
+    lines.append(
+        f"attempted {result.attempted}  committed {result.committed}  "
+        f"local {c['local']}  cross-shard {c['cross']} "
+        f"(global: {c['committed_global']} committed, "
+        f"{c['aborted_global']} aborted, {c['acked_global']} acked, "
+        f"{c['unacked_global']} unacked)"
+    )
+    lines.append(
+        f"  crashes {len(result.crashes)}  recoveries {c['recoveries']}  "
+        f"in-doubt resolved {c['in_doubt_resolved']}  "
+        f"re-prepares {c['reprepares']}  prepare stalls {c['prepare_stalls']}"
+    )
+    for point, hit, shard in result.crashes:
+        lines.append(f"  crash @ {point} (hit {hit}) on shard {shard}")
+    if result.fired:
+        fired = "  ".join(
+            f"{kind}={count}" for kind, count in sorted(result.fired.items())
+        )
+        lines.append(f"  faults fired: {fired}")
+    moved = "  ".join(
+        f"{key}={value}"
+        for key, value in sorted(result.net_counters.items())
+        if value
+    )
+    if moved:
+        lines.append(f"  2pc fabric: {moved}")
+    for problem in result.problems:
+        lines.append(f"  VIOLATION: {problem}")
+    if not result.ok:
+        lines.append(
+            "  failing invariants: " + ", ".join(result.failed_invariants())
+        )
+    lines.append(f"  digest {result.digest()}")
+    return "\n".join(lines)

@@ -9,7 +9,10 @@ Public surface:
   under a fault schedule, recover after every crash, verify invariants;
 * :func:`tpcc_invariants` — TPC-C consistency conditions;
 * ``NETWORK_KINDS`` / ``NET_SEND`` / ``NET_DELIVER`` — network fault
-  kinds and points consumed by :mod:`repro.replication`.
+  kinds and points consumed by :mod:`repro.replication`;
+* ``TPC_KINDS`` / ``TPC_COORDINATOR`` / ``TPC_PARTICIPANT`` /
+  ``TPC_PREPARE`` — two-phase-commit fault kinds and points consumed by
+  :mod:`repro.sharding`.
 """
 
 from repro.faults.chaos import (
@@ -23,6 +26,7 @@ from repro.faults.chaos import (
 )
 from repro.faults.injector import (
     ABORT,
+    COORDINATOR_CRASH,
     CRASH,
     FaultInjector,
     FaultSpec,
@@ -40,7 +44,14 @@ from repro.faults.injector import (
     NET_SEND,
     NETWORK_KINDS,
     NETWORK_POINTS,
+    PARTICIPANT_CRASH,
+    PREPARE_STALL,
     SimulatedCrash,
+    TPC_COORDINATOR,
+    TPC_KINDS,
+    TPC_PARTICIPANT,
+    TPC_POINTS,
+    TPC_PREPARE,
     TXN_BODY,
     WAL_AFTER_APPEND,
     WAL_BEFORE_APPEND,
@@ -50,6 +61,7 @@ from repro.faults.invariants import tpcc_invariants
 
 __all__ = [
     "ABORT",
+    "COORDINATOR_CRASH",
     "CRASH",
     "ChaosResult",
     "ChaosRunner",
@@ -71,7 +83,14 @@ __all__ = [
     "NET_SEND",
     "NETWORK_KINDS",
     "NETWORK_POINTS",
+    "PARTICIPANT_CRASH",
+    "PREPARE_STALL",
     "SimulatedCrash",
+    "TPC_COORDINATOR",
+    "TPC_KINDS",
+    "TPC_PARTICIPANT",
+    "TPC_POINTS",
+    "TPC_PREPARE",
     "TXN_BODY",
     "WAL_AFTER_APPEND",
     "WAL_BEFORE_APPEND",

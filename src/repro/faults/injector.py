@@ -46,6 +46,12 @@ INDEX_INSERT = "index.insert"
 # handed to the fabric, once per message about to be delivered.
 NET_SEND = "net.send"
 NET_DELIVER = "net.deliver"
+# Two-phase-commit points fired by repro.sharding: protocol steps on the
+# coordinator and participant sides, plus the participant's pre-vote
+# window (where a stall delays the vote past the coordinator deadline).
+TPC_COORDINATOR = "2pc.coordinator"
+TPC_PARTICIPANT = "2pc.participant"
+TPC_PREPARE = "2pc.prepare"
 
 # Process-level points: a crash/abort fault here kills or rolls back the
 # simulated process.  NETWORK_POINTS are kept separate — they belong to
@@ -60,7 +66,8 @@ INJECTION_POINTS = (
 )
 
 NETWORK_POINTS = (NET_SEND, NET_DELIVER)
-ALL_POINTS = INJECTION_POINTS + NETWORK_POINTS
+TPC_POINTS = (TPC_COORDINATOR, TPC_PARTICIPANT, TPC_PREPARE)
+ALL_POINTS = INJECTION_POINTS + NETWORK_POINTS + TPC_POINTS
 
 CRASH = "crash"
 ABORT = "abort"
@@ -73,6 +80,28 @@ NET_REORDER = "reorder"
 NET_PARTITION = "partition"
 
 NETWORK_KINDS = (NET_DROP, NET_DELAY, NET_DUPLICATE, NET_REORDER, NET_PARTITION)
+
+# 2PC fault kinds (valid only at TPC_POINTS).  The crash kinds behave
+# like CRASH — the named process dies mid-protocol and only its durable
+# log survives — but keep their own per-kind RNG streams so scheduling
+# them cannot shift existing crash/abort/network schedules.
+# PREPARE_STALL is soft like the network kinds: it is never raised, it
+# tells the participant to delay its vote past the coordinator deadline.
+COORDINATOR_CRASH = "coordinator_crash"
+PARTICIPANT_CRASH = "participant_crash"
+PREPARE_STALL = "prepare_stall"
+
+TPC_KINDS = (COORDINATOR_CRASH, PARTICIPANT_CRASH, PREPARE_STALL)
+# Kinds that fire() raises as a process death.
+_CRASH_KINDS = (CRASH, COORDINATOR_CRASH, PARTICIPANT_CRASH)
+# Kinds evaluated by soft_fault()/network_fault(), never raised.
+_SOFT_KINDS = NETWORK_KINDS + (PREPARE_STALL,)
+# Which 2PC point each 2PC kind is allowed at.
+_TPC_KIND_POINTS = {
+    COORDINATOR_CRASH: (TPC_COORDINATOR,),
+    PARTICIPANT_CRASH: (TPC_PARTICIPANT,),
+    PREPARE_STALL: (TPC_PREPARE,),
+}
 
 # Injected aborts only make sense where a transaction can still roll
 # back cleanly; commit-path points (WAL appends, group commit) are
@@ -121,10 +150,10 @@ class FaultSpec:
                 f"unknown injection point {self.point!r}; "
                 f"known: {', '.join(ALL_POINTS)}"
             )
-        if self.kind not in (CRASH, ABORT) + NETWORK_KINDS:
+        if self.kind not in (CRASH, ABORT) + NETWORK_KINDS + TPC_KINDS:
             raise ValueError(
                 f"fault kind must be 'crash', 'abort' or one of "
-                f"{', '.join(NETWORK_KINDS)}, got {self.kind!r}"
+                f"{', '.join(NETWORK_KINDS + TPC_KINDS)}, got {self.kind!r}"
             )
         if self.kind in NETWORK_KINDS and self.point not in NETWORK_POINTS:
             raise ValueError(
@@ -136,6 +165,16 @@ class FaultSpec:
                 f"{self.point!r} takes network fault kinds "
                 f"({', '.join(NETWORK_KINDS)}), not {self.kind!r}: the fabric "
                 f"has no process to crash or transaction to abort"
+            )
+        if self.kind in TPC_KINDS and self.point not in _TPC_KIND_POINTS[self.kind]:
+            raise ValueError(
+                f"2PC fault {self.kind!r} is only valid at "
+                f"{', '.join(_TPC_KIND_POINTS[self.kind])}, not {self.point!r}"
+            )
+        if self.kind not in TPC_KINDS and self.point in TPC_POINTS:
+            raise ValueError(
+                f"{self.point!r} takes 2PC fault kinds "
+                f"({', '.join(TPC_KINDS)}), not {self.kind!r}"
             )
         if self.kind == ABORT and self.point not in _ABORTABLE_POINTS:
             raise ValueError(
@@ -200,8 +239,8 @@ class FaultInjector:
         for i, spec in enumerate(self.schedule):
             if spec.point != point or self._remaining[i] == 0:
                 continue
-            if spec.kind in NETWORK_KINDS:
-                continue  # evaluated by network_fault(), never raised
+            if spec.kind in _SOFT_KINDS:
+                continue  # evaluated by soft_fault(), never raised
             if spec.at_hit is not None:
                 triggered = spec.at_hit == hit
             else:
@@ -222,20 +261,21 @@ class FaultInjector:
                 "fault." + spec.kind, track="chaos", cat="faults", point=point, hit=hit
             )
             obs.inc("faults.fired", point=point, kind=spec.kind)
-            if spec.kind == CRASH:
+            if spec.kind in _CRASH_KINDS:
                 # The process is dead: never fire again on this injector.
                 self.armed = False
                 raise SimulatedCrash(point, hit)
             raise InjectedAbort(point, hit)
 
-    def network_fault(self, point: str, **context) -> str | None:
-        """Evaluate network-kind faults at *point*; returns the kind hit.
+    def soft_fault(self, point: str, **context) -> str | None:
+        """Evaluate soft (never-raised) faults at *point*; returns the kind.
 
-        Unlike :meth:`fire` nothing is raised — a network fault is not a
-        process event but an instruction to the :class:`SimNetwork`
-        about what to do with the message the point fired for (drop it,
-        delay it, ...).  At most one fault applies per message (first
-        matching schedule entry wins).
+        Unlike :meth:`fire` nothing is raised — a soft fault is not a
+        process event but an instruction to the consumer: the
+        :class:`SimNetwork` applies network kinds to the message the
+        point fired for (drop it, delay it, ...), and a 2PC participant
+        turns ``prepare_stall`` into a delayed vote.  At most one fault
+        applies per hit (first matching schedule entry wins).
         """
         if not self.armed:
             return None
@@ -244,7 +284,7 @@ class FaultInjector:
         for i, spec in enumerate(self.schedule):
             if spec.point != point or self._remaining[i] == 0:
                 continue
-            if spec.kind not in NETWORK_KINDS:
+            if spec.kind not in _SOFT_KINDS:
                 continue
             if spec.at_hit is not None:
                 triggered = spec.at_hit == hit
@@ -264,6 +304,11 @@ class FaultInjector:
             obs.inc("faults.fired", point=point, kind=spec.kind)
             return spec.kind
         return None
+
+    # Historical spelling, kept for the fabric call sites: at network
+    # points the schedule can only hold network kinds (FaultSpec
+    # validation), so the generic soft matcher is exactly equivalent.
+    network_fault = soft_fault
 
     def schedule_digest(self) -> int:
         """Checksum of everything fired so far, in firing order.

@@ -46,6 +46,8 @@ from repro.engines.base import COMMITTED
 from repro.lint import sanitizer
 from repro.replication.network import SimNetwork
 from repro.storage.recovery import (
+    COORD_COMMIT,
+    PREPARED,
     RecoveredState,
     replay,
     restore_engine,
@@ -327,6 +329,22 @@ class ReplicationGroup:
                 self.ship()
                 self.net.tick(backoff)
 
+    def replicate(self, lsn: int, txn_id: int | None = None) -> bool:
+        """Ship and await *lsn* under the spec's ack policy (2PC side door).
+
+        The sharded commit path appends its own records (prepare,
+        decision, commit) outside :meth:`submit`; this makes them as
+        durable as a submitted commit would be.  A *txn_id* is entered
+        into the durable-ack ledger on success so the failover
+        invariants cover it.
+        """
+        self.ship()
+        ok = self._await_ack(lsn)
+        if ok:
+            if txn_id is not None and self.spec.ack != ASYNC:
+                self.acked[txn_id] = lsn
+        return ok
+
     def submit(self, procedure: str, body) -> str:
         """Execute one transaction on the primary and await its ack.
 
@@ -395,6 +413,15 @@ class ReplicationGroup:
                     )
             engine, log = self.engine_factory()
             restore_engine(state, engine)
+            # Carried in-doubt records keep their old txn ids; the fresh
+            # engine must never hand those ids out again.  The dead
+            # primary's counter covers txns whose records the winner
+            # never received.
+            engine._next_txn_id = max(
+                engine._next_txn_id,
+                self.engine._next_txn_id,
+                max(state.txn_status, default=0) + 1,
+            )
             problems.extend(
                 f"state-roundtrip: {p}" for p in verify_against_engine(state, engine)
             )
@@ -412,7 +439,10 @@ class ReplicationGroup:
             self.failovers.append(report)
             # New epoch: replicas drop their old logs and resync from the
             # new primary's checkpoint.  In-flight transactions died with
-            # the old primary and are not carried forward.
+            # the old primary and are not carried forward — but in-doubt
+            # 2PC transactions (prepared, decision elsewhere) and
+            # coordinator commit decisions must survive the failover, so
+            # the checkpoint keeps carrying them.
             self.epoch += 1
             self.engine, self.log = engine, log
             self.history = []
@@ -422,7 +452,11 @@ class ReplicationGroup:
                 replica.reset(self.epoch)
                 self._sent_lsn[replica.replica_id] = 0
                 self.acked_lsn[replica.replica_id] = 0
-            state.active_records = []
+            state.active_records = [
+                r for r in state.active_records
+                if r.kind == COORD_COMMIT
+                or state.txn_status.get(r.txn_id) == PREPARED
+            ]
             write_checkpoint(self.log, state)
             self.ship()
             failover_span.set(

@@ -130,8 +130,15 @@ class SimNetwork:
         lo, hi = DELAY_TICK_RANGE if kind == NET_DELAY else PARTITION_TICK_RANGE
         return rng.randint(lo, hi)
 
-    def send(self, src: str, dst: str, kind: str, payload: tuple) -> None:
-        """Hand a message to the fabric (delivered ``latency_ticks`` later)."""
+    def send(
+        self, src: str, dst: str, kind: str, payload: tuple, *, extra_ticks: int = 0
+    ) -> None:
+        """Hand a message to the fabric (delivered ``latency_ticks`` later).
+
+        ``extra_ticks`` adds sender-side latency on top of the fabric's
+        (a 2PC participant stalling its vote past the coordinator
+        deadline); fault-injected delays stack on top of it.
+        """
         if dst not in self._handlers:
             raise KeyError(f"unknown destination node {dst!r}")
         self._next_msg_seq += 1
@@ -140,7 +147,7 @@ class SimNetwork:
         if self.partitioned(src, dst):
             self.counters["partition_drops"] += 1
             return
-        deliver_at = self.clock + self.latency_ticks
+        deliver_at = self.clock + self.latency_ticks + extra_ticks
         fault = None
         if self.injector is not None:
             fault = self.injector.network_fault(

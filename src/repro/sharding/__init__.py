@@ -1,0 +1,70 @@
+"""Sharded multi-primary OLTP: warehouse partitioning + deterministic 2PC.
+
+The Hardware-Islands angle of the paper's analysis: TPC-C partitioned
+by warehouse across N shard primaries (each optionally its own
+replication group), with cross-partition NewOrder / Payment driven
+through a presumed-abort two-phase commit whose every message crosses
+the deterministic :class:`~repro.replication.network.SimNetwork` —
+so the multisite-fraction sweep, the fault chaos, and the recovery
+invariants all compose with the existing machinery.
+"""
+
+from repro.sharding.chaos import (
+    ShardedChaosSpec,
+    ShardedChaosResult,
+    ShardedChaosRunner,
+    run_sharded_chaos_suite,
+)
+from repro.sharding.cluster import CRASHED, OpenTxn, Shard, ShardSpec, ShardedCluster
+from repro.sharding.invariants import cross_shard_invariants
+from repro.sharding.partition import (
+    PARTITIONED_TABLES,
+    UNPARTITIONED_TABLES,
+    shard_of_key,
+    shard_of_warehouse,
+    warehouse_of_key,
+)
+from repro.sharding.twopc import (
+    ABORT,
+    ACK_DURABLE,
+    ACK_LAGGING,
+    ACK_UNKNOWN,
+    COMMIT,
+    GlobalTxn,
+    MAX_REPREPARES,
+    MSG_DECISION,
+    MSG_DECISION_ACK,
+    MSG_DECISION_REQ,
+    MSG_PREPARE,
+    MSG_VOTE,
+)
+
+__all__ = [
+    "ABORT",
+    "ACK_DURABLE",
+    "ACK_LAGGING",
+    "ACK_UNKNOWN",
+    "COMMIT",
+    "CRASHED",
+    "GlobalTxn",
+    "MAX_REPREPARES",
+    "MSG_DECISION",
+    "MSG_DECISION_ACK",
+    "MSG_DECISION_REQ",
+    "MSG_PREPARE",
+    "MSG_VOTE",
+    "OpenTxn",
+    "PARTITIONED_TABLES",
+    "Shard",
+    "ShardSpec",
+    "ShardedChaosResult",
+    "ShardedChaosRunner",
+    "ShardedChaosSpec",
+    "ShardedCluster",
+    "UNPARTITIONED_TABLES",
+    "cross_shard_invariants",
+    "run_sharded_chaos_suite",
+    "shard_of_key",
+    "shard_of_warehouse",
+    "warehouse_of_key",
+]

@@ -1,0 +1,382 @@
+"""Cross-shard chaos: crash and break 2PC, then prove the invariants.
+
+The sharded sibling of :class:`repro.faults.chaos.ChaosRunner`: drive a
+:class:`~repro.sharding.cluster.ShardedCluster` through a deterministic
+fault schedule that mixes
+
+* process crashes — ``coordinator_crash`` / ``participant_crash`` at
+  the 2PC protocol points plus the ordinary engine points (WAL append,
+  group commit, txn body), one per segment, cycling over the pool;
+* network faults — one of drop / delay / duplicate / reorder /
+  partition per segment at ``net.send`` on the cross-shard fabric, so
+  every 2PC message class gets lost, doubled and shuffled;
+* prepare stalls — a participant delays its yes vote past the
+  coordinator deadline, forcing the retry/backoff path.
+
+Recovery is exercised in-line (the cluster absorbs crashes and
+re-drives in-doubt transactions); after the run, shutdown resolution
+heals the fabric, every shard's log is replayed, and the report checks
+per-shard invariants (state round-trip, TPC-C consistency, replica
+convergence) plus the three cross-shard ones
+(:func:`repro.sharding.invariants.cross_shard_invariants`).
+
+Everything derives from the spec's seed through the established child
+streams — ``fault-schedule`` for crash scheduling, ``net`` for network
+at-hits, ``stall`` for prepare stalls, ``workload`` for the
+transaction stream — so a run is exactly reproducible and the suite is
+bit-identical serial vs ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.engines.base import COMMITTED, EngineStats
+from repro.engines.config import EngineConfig
+from repro.engines.registry import canonical_name
+from repro.faults.injector import (
+    COORDINATOR_CRASH,
+    CRASH,
+    FaultInjector,
+    FaultSpec,
+    NET_SEND,
+    NETWORK_KINDS,
+    PARTICIPANT_CRASH,
+    PREPARE_STALL,
+    SimulatedCrash,
+    TPC_COORDINATOR,
+    TPC_PARTICIPANT,
+    TPC_PREPARE,
+    TXN_BODY,
+    WAL_AFTER_APPEND,
+    WAL_GROUP_COMMIT,
+)
+from repro.faults.invariants import tpcc_invariants
+from repro.lint import sanitizer
+from repro.replication.group import ACK_MODES
+from repro.sharding.cluster import ShardSpec, ShardedCluster
+from repro.sharding.invariants import cross_shard_invariants
+from repro.storage.recovery import take_checkpoint, verify_against_engine
+from repro.util.rng import child_rng, root_rng
+
+# Crash pool: (point, kind) pairs cycled one-per-segment.  The 2PC
+# points fire a few times per cross-shard transaction; engine points
+# fire much more often, hence the wider at-hit ranges.
+_CRASH_POOL = (
+    (TPC_COORDINATOR, COORDINATOR_CRASH),
+    (TPC_PARTICIPANT, PARTICIPANT_CRASH),
+    (WAL_GROUP_COMMIT, CRASH),
+    (TXN_BODY, CRASH),
+    (WAL_AFTER_APPEND, CRASH),
+)
+_AT_HIT_RANGES = {
+    TPC_COORDINATOR: (1, 4),
+    TPC_PARTICIPANT: (1, 3),
+    WAL_GROUP_COMMIT: (1, 2),
+    TXN_BODY: (1, 5),
+}
+_DEFAULT_AT_HIT_RANGE = (1, 15)
+_NET_AT_HIT_RANGE = (1, 40)
+_STALL_AT_HIT_RANGE = (1, 4)
+
+
+@dataclass(frozen=True)
+class ShardedChaosSpec:
+    """One sharded chaos run (picklable: suite cells fan out)."""
+
+    system: str = "shore-mt"
+    n_shards: int = 2
+    remote_pct: float = 20.0
+    replicas: int = 0
+    ack: str = "async"
+    n_txns: int = 60
+    # Crashes to schedule; None = one per pool entry.
+    n_crashes: int | None = None
+    checkpoint_every: int = 20
+    # Network fault kinds to cycle (one per segment); None = all five.
+    net_kinds: tuple[str, ...] | None = None
+    # Schedule a prepare stall per segment (retry-path coverage).
+    stalls: bool = True
+    seed: int = 1
+    engine_config: EngineConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.ack not in ACK_MODES:
+            raise ValueError(
+                f"unknown ack mode {self.ack!r}; known: {', '.join(ACK_MODES)}"
+            )
+        unknown = set(self.net_kinds or ()) - set(NETWORK_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown network fault kind(s) {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(NETWORK_KINDS)}"
+            )
+
+    def shard_spec(self) -> ShardSpec:
+        return ShardSpec(
+            n_shards=self.n_shards,
+            system=self.system,
+            replicas=self.replicas,
+            ack=self.ack,
+            remote_pct=self.remote_pct,
+            seed=self.seed,
+            engine_config=self.engine_config,
+        )
+
+
+@dataclass
+class ShardedChaosResult:
+    """Outcome of one sharded chaos run."""
+
+    system: str
+    n_shards: int
+    remote_pct: float
+    replicas: int
+    ack: str
+    seed: int
+    attempted: int
+    committed: int
+    counters: dict
+    stats: EngineStats
+    crashes: list = field(default_factory=list)  # (point, hit, shard)
+    problems: list[str] = field(default_factory=list)
+    state_digests: tuple[int, ...] = ()
+    net_counters: dict = field(default_factory=dict)
+    fired: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def failed_invariants(self) -> list[str]:
+        names = {p.split(":", 1)[0] for p in self.problems if ":" in p}
+        return sorted(names)
+
+    def digest(self) -> int:
+        """Checksum of final per-shard states + verdict bookkeeping."""
+        content = (
+            self.state_digests,
+            sorted(self.counters.items()),
+            tuple(self.crashes),
+            tuple(self.problems),
+        )
+        return zlib.crc32(repr(content).encode())
+
+
+class ShardedChaosRunner:
+    """Run a sharded cluster under a 2PC-aware fault schedule."""
+
+    def __init__(self, spec: ShardedChaosSpec) -> None:
+        self.spec = spec
+
+    def _segment_injector(
+        self,
+        segment: int,
+        armed: bool,
+        fault_rng: random.Random,
+        net_rng: random.Random,
+        stall_rng: random.Random,
+    ) -> FaultInjector:
+        """One crash + one network fault + one stall per segment.
+
+        Each schedule class draws its at-hits from its own child
+        stream, so enabling or disabling any one of them cannot shift
+        the others — the schedule-digest regression test pins this.
+        """
+        schedule = []
+        if armed:
+            point, kind = _CRASH_POOL[segment % len(_CRASH_POOL)]
+            lo, hi = _AT_HIT_RANGES.get(point, _DEFAULT_AT_HIT_RANGE)
+            with sanitizer.scope("fault-schedule"):
+                at_hit = fault_rng.randint(lo, hi)
+            schedule.append(FaultSpec(point, kind=kind, at_hit=at_hit))
+        kinds = self.spec.net_kinds or NETWORK_KINDS
+        kind = kinds[segment % len(kinds)]
+        with sanitizer.scope("net"):
+            net_at_hit = net_rng.randint(*_NET_AT_HIT_RANGE)
+        schedule.append(FaultSpec(NET_SEND, kind=kind, at_hit=net_at_hit))
+        if self.spec.stalls:
+            with sanitizer.scope("stall"):
+                stall_at_hit = stall_rng.randint(*_STALL_AT_HIT_RANGE)
+            schedule.append(
+                FaultSpec(TPC_PREPARE, kind=PREPARE_STALL, at_hit=stall_at_hit)
+            )
+        return FaultInjector(schedule, seed=self.spec.seed * 1000 + segment)
+
+    def run(self) -> ShardedChaosResult:
+        spec = self.spec
+        with obs.span(
+            "sharded_chaos.run", track="chaos", cat="sharding",
+            system=spec.system, shards=spec.n_shards, remote_pct=spec.remote_pct,
+        ) as run_span:
+            result = self._run()
+            run_span.set(
+                attempted=result.attempted,
+                crashes=len(result.crashes),
+                ok=result.ok,
+            )
+            return result
+
+    def _run(self) -> ShardedChaosResult:
+        spec = self.spec
+        fault_rng = root_rng(spec.seed, "fault-schedule")
+        txn_rng = root_rng(spec.seed + 1, "workload")
+        net_rng = child_rng(spec.seed, "net")
+        stall_rng = child_rng(spec.seed, "stall")
+        cluster = ShardedCluster(spec.shard_spec())
+        n_crashes = (
+            spec.n_crashes if spec.n_crashes is not None else len(_CRASH_POOL)
+        )
+        segments = n_crashes + 1
+        per_segment = -(-spec.n_txns // segments)
+        injectors: list[FaultInjector] = []
+        committed = 0
+        commits_since_ckpt = 0
+        for segment in range(segments):
+            injector = self._segment_injector(
+                segment, segment < n_crashes, fault_rng, net_rng, stall_rng
+            )
+            injectors.append(injector)
+            cluster.attach_injector(injector)
+            for _ in range(per_segment):
+                outcome = cluster.submit_next(txn_rng)
+                if outcome != COMMITTED:
+                    continue
+                committed += 1
+                commits_since_ckpt += 1
+                if spec.checkpoint_every and commits_since_ckpt >= spec.checkpoint_every:
+                    commits_since_ckpt = 0
+                    self._checkpoint_all(cluster)
+        cluster.attach_injector(None)
+        cluster.resolve_all()
+        states = cluster.final_states()
+        problems = list(cluster.problems)
+        for shard in cluster.shards:
+            state = states[shard.shard_id]
+            problems.extend(
+                f"state-roundtrip: shard {shard.shard_id}: {p}"
+                for p in verify_against_engine(state, shard.engine)
+            )
+            problems.extend(
+                f"tpcc-consistency: shard {shard.shard_id}: {p}"
+                for p in tpcc_invariants(cluster.workload, shard.engine)
+            )
+            if shard.group is not None:
+                shard.group.final_sync()
+                problems.extend(shard.group.convergence_problems())
+        problems.extend(cross_shard_invariants(cluster, states))
+        total = EngineStats()
+        total.merge(cluster.total_stats)
+        for shard in cluster.shards:
+            total.merge(shard.engine.stats)
+        fired: dict[str, int] = {}
+        for injector in injectors:
+            for fault in injector.fired:
+                fired[fault.kind] = fired.get(fault.kind, 0) + 1
+        return ShardedChaosResult(
+            system=canonical_name(spec.system),
+            n_shards=spec.n_shards,
+            remote_pct=spec.remote_pct,
+            replicas=spec.replicas,
+            ack=spec.ack,
+            seed=spec.seed,
+            attempted=cluster.counters["submitted"],
+            committed=committed,
+            counters=dict(cluster.counters),
+            stats=total,
+            crashes=list(cluster.crashes),
+            problems=problems,
+            state_digests=tuple(
+                states[s.shard_id].digest() for s in cluster.shards
+            ),
+            net_counters=dict(cluster.net.counters),
+            fired=fired,
+        )
+
+    def _checkpoint_all(self, cluster: ShardedCluster) -> None:
+        """Fuzzy-checkpoint (and truncate) every shard's log; safe now
+        that checkpoints carry prepared records and commit decisions."""
+        for shard in cluster.shards:
+            if shard.crashed:
+                continue
+            try:
+                take_checkpoint(shard.log, truncate=True)
+                if shard.group is not None:
+                    shard.group.ship()
+            except SimulatedCrash as crash:
+                cluster._note_crash(shard, crash)
+        cluster._recover_crashed()
+
+
+# -- the suite (CLI entry) ---------------------------------------------------
+
+
+def _run_sharded_task(spec: ShardedChaosSpec) -> tuple[str, bool, tuple[str, ...]]:
+    """One suite cell; picklable for --jobs fan-out.  The rendered
+    report embeds the result digest, so serial and parallel suite runs
+    are bit-identical."""
+    from repro.bench.report import render_sharded_chaos_result  # local: import cycle
+
+    result = ShardedChaosRunner(spec).run()
+    return (
+        render_sharded_chaos_result(result),
+        result.ok,
+        tuple(result.failed_invariants()),
+    )
+
+
+def run_sharded_chaos_suite(
+    *,
+    system: str = "shore-mt",
+    n_shards: int = 2,
+    remote_pct: float = 20.0,
+    replicas: int = 0,
+    ack: str = "async",
+    seeds=(1,),
+    n_txns: int | None = None,
+    n_crashes: int | None = None,
+    jobs: int = 1,
+) -> tuple[str, bool]:
+    """Run the sharded chaos sweep over *seeds*; returns (report, ok).
+
+    Each seed is an independent cell (its own cluster, schedule and
+    workload stream); with ``jobs > 1`` cells fan out over a process
+    pool and are collected in submission order.
+    """
+    overrides: dict = {}
+    if n_txns is not None:
+        overrides["n_txns"] = n_txns
+    if n_crashes is not None:
+        overrides["n_crashes"] = n_crashes
+    tasks = [
+        ShardedChaosSpec(
+            system=system, n_shards=n_shards, remote_pct=remote_pct,
+            replicas=replicas, ack=ack, seed=seed, **overrides,
+        )
+        for seed in seeds
+    ]
+    if jobs > 1 and len(tasks) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            outcomes = list(pool.map(_run_sharded_task, tasks, chunksize=1))
+    else:
+        outcomes = [_run_sharded_task(task) for task in tasks]
+    outcomes = sanitizer.checked_merge(outcomes, "run_sharded_chaos_suite")
+    lines = [text for text, _, _ in outcomes]
+    all_ok = all(ok for _, ok, _ in outcomes)
+    if all_ok:
+        verdict = (
+            f"all {len(tasks)} sharded chaos runs clean "
+            f"({n_shards} shards, {remote_pct:g}% remote, ack={ack})"
+        )
+    else:
+        failed = sorted({name for _, _, names_ in outcomes for name in names_})
+        verdict = "SHARDED CHAOS FAILURES (see above) — failing invariants: " + (
+            ", ".join(failed) if failed else "(unnamed)"
+        )
+    lines.append(verdict)
+    return "\n".join(lines), all_ok

@@ -1,0 +1,92 @@
+"""Cross-shard 2PC invariants, machine-checked after a chaos run.
+
+Each check emits ``"name: detail"`` strings (the chaos report groups
+violations by the ``name:`` prefix):
+
+* ``atomic-cross-shard-commit`` — a decided-commit global transaction
+  is committed on **every** member shard and a decided-abort (or
+  undecided, which presumed abort makes an abort) one on **none**;
+  partial application across shards is the one thing 2PC exists to
+  prevent.
+* ``no-acked-cross-shard-txn-lost`` — a client-acknowledged global
+  commit (coordinator decision durable + every participant's durable
+  ack) survives on every member shard.
+* ``no-orphan-prepared-record`` — after shutdown resolution no shard's
+  final log replays an undecided ``prepare`` record and no shard still
+  holds in-doubt or open 2PC state: every prepared transaction was
+  driven to a verdict.
+
+A shard's final verdict for a sub-transaction is its replayed
+``txn_status``; the cluster journal (durable per-shard verdicts,
+recorded only at forced-log moments) covers sub-transactions whose
+records predate a crash-recovery checkpoint that no longer carries
+them.
+"""
+
+from __future__ import annotations
+
+from repro.sharding.twopc import ABORT, COMMIT
+
+_COMMITTED = "committed"
+
+
+def _member_status(cluster, states, rec, shard_id: int) -> str | None:
+    txn_id = rec.local_txn.get(shard_id)
+    if txn_id is not None:
+        status = states[shard_id].txn_status.get(txn_id)
+        if status is not None:
+            return status
+    return cluster.journal.get((rec.gtid, shard_id))
+
+
+def cross_shard_invariants(cluster, states) -> list[str]:
+    """Check the three invariants; returns violation messages."""
+    problems: list[str] = []
+    for gtid in sorted(cluster.global_txns):
+        rec = cluster.global_txns[gtid]
+        decision = rec.decision if rec.decision is not None else ABORT
+        statuses = {
+            s: _member_status(cluster, states, rec, s) for s in rec.members
+        }
+        committed = sorted(s for s, st in statuses.items() if st == _COMMITTED)
+        if decision == COMMIT and len(committed) != len(rec.members):
+            missing = sorted(set(rec.members) - set(committed))
+            problems.append(
+                f"atomic-cross-shard-commit: gtid {gtid} decided commit but "
+                f"shards {missing} show "
+                f"{[statuses[s] for s in missing]} (committed on {committed})"
+            )
+        elif decision == ABORT and committed:
+            problems.append(
+                f"atomic-cross-shard-commit: gtid {gtid} decided abort "
+                f"(or undecided: presumed abort) but shards {committed} "
+                f"committed it"
+            )
+        if rec.acked and decision == COMMIT:
+            lost = sorted(s for s in rec.members if statuses[s] != _COMMITTED)
+            if lost:
+                problems.append(
+                    f"no-acked-cross-shard-txn-lost: gtid {gtid} was "
+                    f"acknowledged to the client but shards {lost} show "
+                    f"{[statuses[s] for s in lost]}"
+                )
+    for shard in cluster.shards:
+        state = states[shard.shard_id]
+        for txn_id in sorted(state.prepared):
+            gtid, coord = state.prepared[txn_id]
+            problems.append(
+                f"no-orphan-prepared-record: shard {shard.shard_id} final log "
+                f"replays txn {txn_id} (gtid {gtid}, coordinator {coord}) as "
+                f"still prepared"
+            )
+        if shard.in_doubt:
+            problems.append(
+                f"no-orphan-prepared-record: shard {shard.shard_id} still "
+                f"holds in-doubt gtids {sorted(shard.in_doubt)}"
+            )
+        if shard.open:
+            problems.append(
+                f"no-orphan-prepared-record: shard {shard.shard_id} still "
+                f"holds open 2PC transactions {sorted(shard.open)}"
+            )
+    return problems

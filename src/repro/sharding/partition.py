@@ -1,0 +1,73 @@
+"""Warehouse partitioning: TPC-C keys -> owning warehouse -> shard.
+
+The dense composite keys (see :mod:`repro.workloads.tpcc`) make the
+owning warehouse pure integer arithmetic, so the mapping is total over
+every partitioned table.  Shard placement hashes the warehouse id
+through :func:`repro.util.stablehash.stable_hash` on a *tagged tuple* —
+``stable_hash`` maps bare ints to themselves, which would make shard
+assignment ``w % n_shards`` (a correlated, migration-hostile layout);
+the tag turns it into a mixed hash that is stable across processes and
+independent of shard enumeration order.
+
+``item`` is replicated on every shard (as VoltDB replicates read-only
+Item) and ``history`` rows are keyless appends homed wherever the
+writing sub-transaction runs: both map to no single warehouse.
+"""
+
+from __future__ import annotations
+
+from repro.util.stablehash import stable_hash
+from repro.workloads.tpcc import (
+    CUSTOMERS_PER_DISTRICT,
+    DISTRICTS_PER_WAREHOUSE,
+    MAX_LINES,
+    ORDER_CAP,
+    STOCK_PER_WAREHOUSE,
+)
+
+# Tables owned by exactly one warehouse (the partitioned set).
+PARTITIONED_TABLES = (
+    "warehouse",
+    "district",
+    "customer",
+    "orders",
+    "new_order",
+    "order_line",
+    "stock",
+)
+# Tables with no owning warehouse: replicated or append-anywhere.
+UNPARTITIONED_TABLES = ("item", "history")
+
+
+def shard_of_warehouse(warehouse: int, n_shards: int) -> int:
+    """The shard that owns *warehouse* (stable, enumeration-independent)."""
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return stable_hash(("tpcc-warehouse", warehouse)) % n_shards
+
+
+def warehouse_of_key(table: str, key: int) -> int | None:
+    """The warehouse owning (table, key); None for unpartitioned tables."""
+    if table == "warehouse":
+        return key
+    if table == "district":
+        return key // DISTRICTS_PER_WAREHOUSE
+    if table == "customer":
+        return key // (CUSTOMERS_PER_DISTRICT * DISTRICTS_PER_WAREHOUSE)
+    if table in ("orders", "new_order"):
+        return key // (ORDER_CAP * DISTRICTS_PER_WAREHOUSE)
+    if table == "order_line":
+        return key // (MAX_LINES * ORDER_CAP * DISTRICTS_PER_WAREHOUSE)
+    if table == "stock":
+        return key // STOCK_PER_WAREHOUSE
+    if table in UNPARTITIONED_TABLES:
+        return None
+    raise KeyError(f"unknown TPC-C table {table!r}")
+
+
+def shard_of_key(table: str, key: int, n_shards: int) -> int | None:
+    """The shard owning (table, key); None for unpartitioned tables."""
+    warehouse = warehouse_of_key(table, key)
+    if warehouse is None:
+        return None
+    return shard_of_warehouse(warehouse, n_shards)

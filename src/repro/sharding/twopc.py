@@ -1,0 +1,105 @@
+"""Presumed-abort two-phase commit: protocol vocabulary and bookkeeping.
+
+The protocol (driven by :class:`repro.sharding.cluster.ShardedCluster`)
+is textbook presumed-abort 2PC with the coordinator doubling as a
+participant for its home sub-transaction:
+
+1. The coordinator executes the home sub-body (locks held, commit
+   deferred) and sends ``prepare`` to every remote participant.
+2. A participant executes its sub-body, appends a forced ``prepare``
+   record — replicated under its shard's ack mode, so a yes vote is as
+   durable as the promise it makes — and answers ``vote`` yes; any
+   abort (user, engine, injected) answers no with nothing durable.
+3. On all-yes the coordinator appends its *own* prepare record, then
+   the forced ``coord-commit`` decision record — the global commit
+   point — commits its home transaction and sends ``decision`` commit;
+   on any no vote or exhausted retries it aborts (``coord-abort`` is
+   appended unforced: presumed abort needs no durable abort).
+4. Participants apply the decision, force it durable, and answer
+   ``decision-ack``; the client ack requires the coordinator durable
+   *and* every participant's durable ack.
+
+In-doubt resolution after a crash: a recovered participant finds
+``prepare`` records with no decision marker (status PREPARED), keeps
+the transaction's records carried through checkpoints, and asks the
+coordinator with ``decision-req``.  The coordinator answers from its
+replayed decision records — **no ``coord-commit`` record means abort**
+(the presumption).  A participant that lost its prepared state entirely
+(async-replicated shard failing over an unshipped prepare) answers a
+commit decision with ``decision-ack`` status ``unknown``; the
+coordinator then re-sends ``prepare`` so the sub-transaction re-executes
+on the new epoch — decided-commit transactions are re-driven, never
+dropped.
+
+Every message traverses the cross-shard
+:class:`~repro.replication.network.SimNetwork` and is therefore subject
+to drop / delay / duplicate / reorder / partition faults; the
+coordinator retries each phase under a tick deadline with capped
+exponential backoff plus seeded jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Message kinds on the cross-shard fabric.
+MSG_PREPARE = "prepare"
+MSG_VOTE = "vote"
+MSG_DECISION = "decision"
+MSG_DECISION_ACK = "decision-ack"
+MSG_DECISION_REQ = "decision-req"
+
+# Decisions.
+COMMIT = "commit"
+ABORT = "abort"
+
+# decision-ack statuses.
+ACK_DURABLE = "durable"
+ACK_LAGGING = "lagging"  # applied, but replication ack timed out
+ACK_UNKNOWN = "unknown"  # no trace of the transaction on this shard
+
+# How often the coordinator re-sends a prepare to a participant that
+# answered a commit decision with ACK_UNKNOWN before giving up for the
+# round (resolution re-drives it with faults off).
+MAX_REPREPARES = 5
+
+
+@dataclass
+class GlobalTxn:
+    """Coordinator-side bookkeeping for one cross-shard transaction."""
+
+    gtid: int
+    procedure: str
+    home: int  # coordinator shard id
+    participants: tuple[int, ...]  # remote shard ids (home excluded)
+    bodies: dict[int, object] = field(default_factory=dict)  # shard -> TxnBody
+    votes: dict[int, bool] = field(default_factory=dict)  # shard -> yes/no
+    local_txn: dict[int, int] = field(default_factory=dict)  # shard -> txn id
+    decision: str | None = None  # COMMIT | ABORT once decided
+    acks: dict[int, str] = field(default_factory=dict)  # shard -> ack status
+    reprepares: dict[int, int] = field(default_factory=dict)  # shard -> count
+    acked: bool = False  # client-visible durable ack
+    # Fabric-clock latency marks (prepare -> decision -> fully acked).
+    prepare_sent_at: int = 0
+    decided_at: int = 0
+    resolved_at: int = 0
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        """Every shard touched: the home shard plus the participants."""
+        return (self.home,) + self.participants
+
+    def all_votes_in(self) -> bool:
+        return all(shard in self.votes for shard in self.participants)
+
+    def all_yes(self) -> bool:
+        return self.all_votes_in() and all(
+            self.votes[shard] for shard in self.participants
+        )
+
+    def pending_acks(self) -> tuple[int, ...]:
+        """Participants that have not durably acknowledged the decision."""
+        return tuple(
+            shard for shard in self.participants
+            if self.acks.get(shard) != ACK_DURABLE
+        )

@@ -43,9 +43,27 @@ from repro.storage.wal import LogRecord, RECORD_HEADER_BYTES, WriteAheadLog
 COMMITTED = "committed"
 ABORTED = "aborted"
 IN_FLIGHT = "in-flight"
+# Two-phase commit: the transaction voted yes and is in doubt — its
+# locks were held and its writes forced when the process died, but the
+# commit/abort decision lives on the coordinator.  Recovery must neither
+# redo nor undo it until the coordinator's verdict arrives (presumed
+# abort: no coordinator commit record means abort).
+PREPARED = "prepared"
 
 CHECKPOINT = "checkpoint"
 """Record kind of periodic checkpoints (txn_id 0, not a transaction)."""
+
+PREPARE = "prepare"
+"""Record kind appended (and forced) by a 2PC participant before its yes
+vote; payload is ``(gtid, coordinator_shard)``."""
+
+COORD_COMMIT = "coord-commit"
+COORD_ABORT = "coord-abort"
+DECISION_KINDS = (COORD_COMMIT, COORD_ABORT)
+"""Coordinator decision records (txn_id 0, payload ``(gtid,)``): the
+commit point of a global transaction is the forced ``coord-commit``.
+Checkpoints carry unforgotten ``coord-commit`` records forward; abort
+decisions need no durability (presumed abort)."""
 
 
 @dataclass
@@ -67,9 +85,14 @@ class RecoveredState:
     truncated_records: int = 0
     # LSN of the checkpoint replay restarted from (None = full replay).
     checkpoint_lsn: int | None = None
-    # Log records of transactions in flight at the end of the replayed
-    # prefix (what the next checkpoint must carry forward).
+    # Log records of transactions in flight or in doubt at the end of
+    # the replayed prefix, plus undecided coordinator commit records
+    # (what the next checkpoint must carry forward).
     active_records: list[LogRecord] = field(default_factory=list)
+    # In-doubt 2PC transactions: txn_id -> (gtid, coordinator_shard).
+    prepared: dict[int, tuple] = field(default_factory=dict)
+    # Coordinator decisions found in this log: gtid -> COMMITTED/ABORTED.
+    decisions: dict[int, str] = field(default_factory=dict)
 
     def row(self, table: str, row_id: int) -> tuple | None:
         return self.rows.get((table, row_id))
@@ -113,12 +136,16 @@ def analyse(records: list[LogRecord]) -> dict[int, str]:
     """Pass 1: classify every transaction seen in the log."""
     status: dict[int, str] = {}
     for record in records:
-        if record.kind == CHECKPOINT:
-            continue
+        if record.kind == CHECKPOINT or record.kind in DECISION_KINDS:
+            continue  # txn_id 0 bookkeeping records, not transactions
         if record.kind == "commit":
             status[record.txn_id] = COMMITTED
         elif record.kind == "abort":
             status[record.txn_id] = ABORTED
+        elif record.kind == PREPARE:
+            # In doubt unless a later commit/abort marker decides it
+            # (markers overwrite; records are scanned in LSN order).
+            status[record.txn_id] = PREPARED
         else:
             status.setdefault(record.txn_id, IN_FLIGHT)
     return status
@@ -168,8 +195,15 @@ def replay(log) -> RecoveredState:
         clrs_by_txn: dict[int, list[LogRecord]] = {}
         with obs.span("recovery.redo", track="recovery", cat="storage") as redo_span:
             for record in work:
+                if record.kind in DECISION_KINDS:
+                    state.decisions[record.payload[0]] = (
+                        COMMITTED if record.kind == COORD_COMMIT else ABORTED
+                    )
+                    continue
                 if record.kind == CHECKPOINT or record.payload is None:
                     continue
+                if record.kind == PREPARE and status.get(record.txn_id) == PREPARED:
+                    state.prepared[record.txn_id] = tuple(record.payload)
                 if status.get(record.txn_id) != COMMITTED:
                     state.skipped += 1
                     if record.kind == "clr" and status.get(record.txn_id) == IN_FLIGHT:
@@ -186,9 +220,19 @@ def replay(log) -> RecoveredState:
                 for record in clrs:
                     _apply_clr(state, record)
             undo_span.set(applied=state.undo_applied)
+        # Carry forward: records of undecided transactions (in flight or
+        # in doubt) and coordinator commit decisions — a participant may
+        # ask for a verdict long after this log checkpoints, and losing
+        # a commit decision would make presumed-abort lose data.  Abort
+        # decisions are safely forgotten (that is the presumption).
         state.active_records = [
             r for r in work
-            if r.kind != CHECKPOINT and status.get(r.txn_id) == IN_FLIGHT
+            if r.kind == COORD_COMMIT
+            or (
+                r.kind != CHECKPOINT
+                and r.kind not in DECISION_KINDS
+                and status.get(r.txn_id) in (IN_FLIGHT, PREPARED)
+            )
         ]
         replay_span.set(
             truncated=truncated,
@@ -247,6 +291,30 @@ def _apply_clr(state: RecoveredState, record: LogRecord) -> None:
     else:
         return
     state.undo_applied += 1
+
+
+def redo_records(records: list[LogRecord], state: RecoveredState | None = None) -> RecoveredState:
+    """Apply forward value-log *records* onto a (possibly fresh) state.
+
+    The resolution path for a recovered in-doubt transaction: once the
+    coordinator's verdict says commit, its prepared records — carried in
+    ``active_records`` — are redone into a delta that
+    :func:`restore_engine` can apply onto the live engine.
+    """
+    if state is None:
+        state = RecoveredState()
+    for record in records:
+        if record.kind in ("update", "insert", "delete"):
+            _redo(state, record)
+    return state
+
+
+def prepared_records(state: RecoveredState, txn_id: int) -> list[LogRecord]:
+    """The carried forward records of one in-doubt transaction."""
+    return [
+        r for r in state.active_records
+        if r.txn_id == txn_id and r.kind not in DECISION_KINDS
+    ]
 
 
 # -- checkpoints ------------------------------------------------------------

@@ -50,7 +50,12 @@ def record_checksum(lsn: int, txn_id: int, kind: str, payload_bytes: int, payloa
 class LogRecord:
     lsn: int
     txn_id: int
-    kind: str  # 'begin' | 'update' | 'insert' | 'delete' | 'clr' | 'commit' | 'abort' | 'checkpoint'
+    # 'begin' | 'update' | 'insert' | 'delete' | 'clr' | 'commit' | 'abort'
+    # | 'checkpoint', plus the two-phase-commit kinds: 'prepare' (payload
+    # (gtid, coordinator shard), appended by a participant before it votes
+    # yes) and the coordinator decision records 'coord-commit' /
+    # 'coord-abort' (txn_id 0, payload (gtid,), not a transaction).
+    kind: str
     payload_bytes: int
     # Value-logging payload (kind-specific tuple); lets the recovery
     # module rebuild committed state from the log alone.

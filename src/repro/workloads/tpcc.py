@@ -148,6 +148,48 @@ class TPCC(Workload):
         builder = getattr(self, f"_gen_{kind}")
         return kind, builder(rng, w, remote_allowed=partition is None)
 
+    def next_distributed_transaction(
+        self,
+        rng: random.Random,
+        *,
+        remote_pct: float = 10.0,
+    ) -> tuple[str, int, dict[int, TxnBody]]:
+        """One transaction decomposed into per-warehouse sub-bodies.
+
+        Returns ``(kind, home_warehouse, {warehouse: body})``.  With
+        probability ``remote_pct``/100 a NewOrder supplies lines from a
+        remote warehouse (and a Payment pays for a remote customer), so
+        the dict spans several warehouses; a sharded executor groups the
+        sub-bodies by owning shard and runs the multi-shard ones under
+        two-phase commit.  The mix, key distributions and 1 % NewOrder
+        rollback follow :meth:`next_transaction`; sweeping ``remote_pct``
+        0–100 is the Hardware-Islands multisite-fraction axis.
+        """
+        r = rng.random()
+        acc = 0.0
+        kind = MIX[-1][0]
+        for name, p in MIX:
+            acc += p
+            if r < acc:
+                kind = name
+                break
+        w = self._pick_warehouse(rng, None, 1)
+        remote = (
+            kind in ("new_order", "payment")
+            and self.n_warehouses > 1
+            and rng.random() * 100.0 < remote_pct
+        )
+        if kind == "new_order":
+            return kind, w, self._gen_new_order_parts(rng, w, remote=remote)
+        if kind == "payment":
+            return kind, w, self._gen_payment_parts(rng, w, remote=remote)
+        builder = getattr(self, f"_gen_{kind}")
+        return kind, w, {w: builder(rng, w, remote_allowed=False)}
+
+    def _remote_warehouse(self, rng: random.Random, home: int) -> int:
+        other = rng.randrange(self.n_warehouses - 1)
+        return other + 1 if other >= home else other
+
     # -- NewOrder (45%) ---------------------------------------------------------------
 
     def _gen_new_order(self, rng: random.Random, w: int, *, remote_allowed: bool) -> TxnBody:
@@ -193,6 +235,67 @@ class TPCC(Workload):
 
         return body
 
+    def _gen_new_order_parts(
+        self, rng: random.Random, w: int, *, remote: bool
+    ) -> dict[int, TxnBody]:
+        """NewOrder split by warehouse: district/orders/lines stay home,
+        each remote-supplied line's stock update goes to its supplier."""
+        d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        dk = self.district_key(w, d)
+        c = nurand_customer(rng, CUSTOMERS_PER_DISTRICT)
+        n_lines = rng.randint(5, MAX_LINES)
+        supplier = self._remote_warehouse(rng, w) if remote else w
+        items = []
+        for line in range(n_lines):
+            item = nurand_item(rng, ITEMS)
+            # A multisite NewOrder sources its first line (and, per
+            # clause-like coin flips, about half the rest) remotely.
+            supply_w = w
+            if remote and (line == 0 or rng.random() < 0.5):
+                supply_w = supplier
+            items.append((item, supply_w, rng.randint(1, 10)))
+        rollback = rng.random() < 0.01
+        o_id = self.next_o_id(dk)
+        if o_id >= ORDER_CAP:
+            o_id = INITIAL_ORDERS_PER_DISTRICT
+        self._next_o_id[dk] = o_id + 1
+        ok = self.order_key(dk, o_id)
+        workload = self
+
+        def home_body(txn) -> None:
+            txn.read("warehouse", w)
+            txn.update("district", dk, "c1", lambda v: v + 1)  # next_o_id++
+            txn.read("customer", workload.customer_key(dk, c))
+            txn.insert("orders", (ok, dk, n_lines, 0, 0, 0, 0, 0), key=ok)
+            txn.insert("new_order", (ok, dk, 0), key=ok)
+            for line, (item, supply_w, qty) in enumerate(items):
+                item_row = txn.read("item", item)
+                if item_row is None:
+                    raise UserAbort("invalid item")
+                if supply_w == w:
+                    txn.update("stock", workload.stock_key(supply_w, item), "c2",
+                               lambda v, q=qty: v - q)
+                txn.insert(
+                    "order_line",
+                    (ok, line, item, supply_w, qty, 0, 0, 0, 0, 0),
+                    key=workload.order_line_key(ok, line),
+                )
+            if rollback:
+                raise UserAbort("1% rollback")
+
+        parts: dict[int, TxnBody] = {w: home_body}
+        remote_lines = [(i, sw, q) for i, sw, q in items if sw != w]
+        if remote_lines:
+
+            def remote_body(txn) -> None:
+                for item, supply_w, qty in remote_lines:
+                    txn.read("item", item)  # replicated read on the supplier
+                    txn.update("stock", workload.stock_key(supply_w, item), "c2",
+                               lambda v, q=qty: v - q)
+
+            parts[supplier] = remote_body
+        return parts
+
     # -- Payment (43%) ---------------------------------------------------------------
 
     def _gen_payment(self, rng: random.Random, w: int, *, remote_allowed: bool) -> TxnBody:
@@ -224,6 +327,44 @@ class TPCC(Workload):
             txn.insert("history", (ck, cdk, dk, w, amount, 0, 0, 0))
 
         return body
+
+    def _gen_payment_parts(
+        self, rng: random.Random, w: int, *, remote: bool
+    ) -> dict[int, TxnBody]:
+        """Payment split by warehouse: w_ytd/d_ytd stay home, the customer
+        update and history row go to the customer's warehouse."""
+        d = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+        dk = self.district_key(w, d)
+        cw = self._remote_warehouse(rng, w) if remote else w
+        cd = rng.randrange(DISTRICTS_PER_WAREHOUSE) if remote else d
+        cdk = self.district_key(cw, cd)
+        c = nurand_customer(rng, CUSTOMERS_PER_DISTRICT)
+        by_lastname = rng.random() < 0.60
+        amount = rng.randint(1, 5000)
+        workload = self
+
+        def home_body(txn) -> None:
+            txn.update("warehouse", w, "c1", lambda v: v + amount)  # w_ytd
+            txn.update("district", dk, "c2", lambda v: v + amount)  # d_ytd
+
+        def customer_body(txn) -> None:
+            ck = workload.customer_key(cdk, c)
+            if by_lastname:
+                base = max(0, min(c - 2, CUSTOMERS_PER_DISTRICT - 4))
+                for i in range(4):
+                    txn.read("customer", workload.customer_key(cdk, base + i))
+                ck = workload.customer_key(cdk, base + 2)
+            txn.update("customer", ck, "c1", lambda v: v - amount)  # balance
+            txn.insert("history", (ck, cdk, dk, w, amount, 0, 0, 0))
+
+        if cw == w:
+
+            def body(txn) -> None:
+                home_body(txn)
+                customer_body(txn)
+
+            return {w: body}
+        return {w: home_body, cw: customer_body}
 
     # -- OrderStatus (4%, read-only) ------------------------------------------------------
 

@@ -25,13 +25,19 @@ from repro.engines.config import EngineConfig
 from repro.engines.registry import make_engine
 from repro.faults import (
     ABORT,
+    COORDINATOR_CRASH,
     CRASH,
     FaultInjector,
     FaultSpec,
     InjectedAbort,
     NET_DROP,
     NET_SEND,
+    PARTICIPANT_CRASH,
+    PREPARE_STALL,
     SimulatedCrash,
+    TPC_COORDINATOR,
+    TPC_PARTICIPANT,
+    TPC_PREPARE,
     TXN_BODY,
     WAL_BEFORE_APPEND,
     WAL_GROUP_COMMIT,
@@ -191,6 +197,49 @@ class TestPerKindStreams:
             except SimulatedCrash:
                 pass
         assert inj.schedule_digest() == 2669772192
+
+    def test_2pc_kinds_present_but_idle_keep_digest_pinned(self):
+        """The 2PC fault kinds ride their own child streams: scheduling
+        them (without their points ever being hit) must leave the
+        PR-1-era pinned digest byte-identical."""
+        inj = FaultInjector(
+            [
+                FaultSpec(TXN_BODY, kind=ABORT, probability=0.2, times=-1),
+                FaultSpec(WAL_GROUP_COMMIT, at_hit=3),
+                FaultSpec(TPC_COORDINATOR, kind=COORDINATOR_CRASH, at_hit=99),
+                FaultSpec(TPC_PARTICIPANT, kind=PARTICIPANT_CRASH, at_hit=99),
+                FaultSpec(TPC_PREPARE, kind=PREPARE_STALL, at_hit=99),
+            ],
+            seed=42,
+        )
+        for _ in range(60):
+            try:
+                inj.fire(TXN_BODY)
+            except InjectedAbort:
+                pass
+        for _ in range(3):
+            try:
+                inj.fire(WAL_GROUP_COMMIT)
+            except SimulatedCrash:
+                pass
+        assert inj.schedule_digest() == 2669772192
+
+    def test_2pc_kinds_appear_in_digest_when_fired(self):
+        """Once a 2PC fault actually fires it must be part of the digest."""
+        base = FaultInjector([FaultSpec(TXN_BODY, kind=ABORT, at_hit=1)])
+        with pytest.raises(InjectedAbort):
+            base.fire(TXN_BODY)
+        twopc = FaultInjector(
+            [
+                FaultSpec(TXN_BODY, kind=ABORT, at_hit=1),
+                FaultSpec(TPC_COORDINATOR, kind=COORDINATOR_CRASH, at_hit=1),
+            ]
+        )
+        with pytest.raises(InjectedAbort):
+            twopc.fire(TXN_BODY)
+        with pytest.raises(SimulatedCrash):
+            twopc.fire(TPC_COORDINATOR)
+        assert twopc.schedule_digest() != base.schedule_digest()
 
     def test_network_fault_returns_kind_without_raising(self):
         inj = FaultInjector([FaultSpec(NET_SEND, kind=NET_DROP, at_hit=2)])

@@ -99,7 +99,7 @@ class TestRegistry:
     def test_all_figures_registered(self):
         from repro.bench.figures import ALL_IDS, REGISTRY
 
-        assert len(ALL_IDS) == 28  # table1 + fig1..fig27
+        assert len(ALL_IDS) == 29  # table1 + fig1..fig28
         assert "table1" in REGISTRY
 
     def test_id_normalisation(self):
