@@ -7,14 +7,16 @@ Usage::
     python -m repro.bench validate --quick    # audit every figure's shape
     python -m repro.bench chaos --quick       # fault-injection suite
     python -m repro.bench perf --quick        # simulator perf record
+    python -m repro.bench load --clients 1000000 --arrival flash   # open loop
     python -m repro.bench trace fig1 --out trace.json   # Perfetto trace
     python -m repro.bench top fig1            # TMAM top-down report
     repro-bench table1
 
-``chaos``, ``validate``, ``perf``, ``trace`` and ``top`` are proper
-subcommands with their own options; mixing them with figure ids is
-rejected with a clear message instead of falling through to the figure
-registry.
+``chaos``, ``validate``, ``perf``, ``load``, ``trace`` and ``top`` are
+proper subcommands with their own options; mixing them with figure ids
+is rejected with a clear message instead of falling through to the
+figure registry.  Out-of-range option values (a negative ``--remote-pct``,
+``--shards 0``, ...) are rejected with exit code 2 before any work runs.
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ from repro.bench.figures import ALL_IDS, run_figure
 from repro.bench.report import render_figure
 from repro.util.clock import wall_timer
 
-SUBCOMMANDS = ("chaos", "validate", "perf", "trace", "top")
+SUBCOMMANDS = ("chaos", "validate", "perf", "load", "trace", "top")
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -99,13 +101,13 @@ def _chaos_main(argv: list[str]) -> int:
         help="client acknowledgement mode when --replicas > 0",
     )
     parser.add_argument(
-        "--shards", type=int, default=0,
-        help="run the sharded 2PC chaos suite on N shard primaries "
-        "(0 = classic single-node suite)",
+        "--shards", type=int, default=None,
+        help="run the sharded 2PC chaos suite on N >= 1 shard primaries "
+        "(omit for the classic single-node suite)",
     )
     parser.add_argument(
         "--remote-pct", type=float, default=20.0,
-        help="multisite fraction of NewOrder/Payment when --shards > 0",
+        help="multisite fraction of NewOrder/Payment when --shards is given",
     )
     parser.add_argument(
         "--seeds", type=int, default=1,
@@ -114,6 +116,29 @@ def _chaos_main(argv: list[str]) -> int:
     _add_jobs_argument(parser)
     _add_sanitize_argument(parser)
     args = parser.parse_args(argv)
+    # Validate before any work: a nonsensical value must die with exit
+    # code 2 and a usage line, not crash three suites in or silently run
+    # a misconfigured sweep (a 150% remote fraction used to be accepted).
+    if args.shards is not None and args.shards < 1:
+        parser.error(
+            f"--shards must be >= 1 (got {args.shards}); "
+            "omit --shards for the classic single-node suite"
+        )
+    if not 0.0 <= args.remote_pct <= 100.0:
+        parser.error(
+            f"--remote-pct is a percentage and must be in [0, 100] "
+            f"(got {args.remote_pct:g})"
+        )
+    if args.replicas < 0:
+        parser.error(f"--replicas must be >= 0 (got {args.replicas})")
+    if args.seeds < 1:
+        parser.error(f"--seeds must be >= 1 (got {args.seeds})")
+    if args.txns is not None and args.txns < 1:
+        parser.error(f"--txns must be >= 1 (got {args.txns})")
+    if args.crashes is not None and args.crashes < 0:
+        parser.error(f"--crashes must be >= 0 (got {args.crashes})")
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0 (got {args.jobs})")
 
     from contextlib import nullcontext
 
@@ -122,7 +147,7 @@ def _chaos_main(argv: list[str]) -> int:
     # The sanitizer only watches (TrackedRandom draws bit-identically),
     # so the report on stdout matches the unsanitized run byte-for-byte.
     with sanitizer.sanitizing(True) if args.sanitize else nullcontext():
-        if args.shards > 0:
+        if args.shards is not None:
             from repro.sharding import run_sharded_chaos_suite
 
             system = (args.systems or ["shore-mt"])[0]
@@ -212,6 +237,173 @@ def _perf_main(argv: list[str]) -> int:
     )
     print(text)
     return 0 if ok else 1
+
+
+def _load_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench load",
+        description=(
+            "Open-loop load driver: N simulated clients (seeded arrival "
+            "streams, not threads) offer transactions at a rate the system "
+            "does not control; reports p50/p99/p999 latency and the "
+            "throughput-vs-offered-load saturation curve."
+        ),
+    )
+    parser.add_argument(
+        "--clients", type=int, default=1000,
+        metavar="N", help="simulated clients (arrival streams scale O(1) in N)",
+    )
+    parser.add_argument(
+        "--arrival", default="poisson", choices=("poisson", "burst", "flash"),
+        help="arrival process shaping the offered rate over virtual time",
+    )
+    parser.add_argument(
+        "--mix", default="read-write",
+        choices=("read-only", "read-write", "write-only", "incremental-write"),
+        help="transaction mix the clients submit",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None, metavar="R",
+        help="base offered rate in txns/s of virtual time "
+        "(default: probe the backend's capacity)",
+    )
+    parser.add_argument(
+        "--system", default="hyper", help="engine under load (default: hyper)"
+    )
+    parser.add_argument(
+        "--events", type=int, default=600, metavar="N",
+        help="timeline events per sweep point",
+    )
+    parser.add_argument(
+        "--streams", type=int, default=None, metavar="N",
+        help="arrival streams (client cohorts); default 32",
+    )
+    parser.add_argument(
+        "--think-ms", type=float, default=0.0,
+        help="mean per-client think time (exponential), milliseconds",
+    )
+    parser.add_argument(
+        "--servers", type=int, default=1,
+        help="virtual service slots draining the queue",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="drive a ShardedCluster of N primaries (its own TPC-C "
+        "distributed mix; 0 = no sharding)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=0,
+        help="WAL-shipping replicas (per shard when --shards > 0)",
+    )
+    parser.add_argument(
+        "--ack", default="quorum", choices=("async", "sync-one", "quorum"),
+        help="client acknowledgement mode when --replicas > 0",
+    )
+    parser.add_argument(
+        "--remote-pct", type=float, default=10.0,
+        help="cross-shard fraction when --shards > 0",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="per-transaction probability of an injected abort",
+    )
+    parser.add_argument(
+        "--multipliers", type=float, nargs="+", default=None,
+        metavar="M", help="offered-load multipliers (default: 0.25 0.5 1 2 4)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="arrival-stream seed")
+    _add_jobs_argument(parser)
+    _add_sanitize_argument(parser)
+    parser.add_argument(
+        "--records-dir", type=Path, default=None,
+        help="where LOAD_*.json records live (default: benchmarks/records)",
+    )
+    parser.add_argument(
+        "--no-save", action="store_true", help="report without recording"
+    )
+    args = parser.parse_args(argv)
+    # Same validation rigor as chaos: die with exit 2 before any work.
+    if args.clients < 1:
+        parser.error(f"--clients must be >= 1 (got {args.clients})")
+    if args.rate is not None and args.rate <= 0:
+        parser.error(f"--rate must be > 0 (got {args.rate:g})")
+    if args.events < 1:
+        parser.error(f"--events must be >= 1 (got {args.events})")
+    if args.streams is not None and args.streams < 1:
+        parser.error(f"--streams must be >= 1 (got {args.streams})")
+    if args.think_ms < 0:
+        parser.error(f"--think-ms must be >= 0 (got {args.think_ms:g})")
+    if args.servers < 1:
+        parser.error(f"--servers must be >= 1 (got {args.servers})")
+    if args.shards < 0:
+        parser.error(f"--shards must be >= 0 (got {args.shards})")
+    if args.replicas < 0:
+        parser.error(f"--replicas must be >= 0 (got {args.replicas})")
+    if not 0.0 <= args.remote_pct <= 100.0:
+        parser.error(
+            f"--remote-pct is a percentage and must be in [0, 100] "
+            f"(got {args.remote_pct:g})"
+        )
+    if not 0.0 <= args.fault_rate < 1.0:
+        parser.error(f"--fault-rate must be in [0, 1) (got {args.fault_rate:g})")
+    if args.multipliers is not None and any(m <= 0 for m in args.multipliers):
+        parser.error("--multipliers must all be > 0")
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0 (got {args.jobs})")
+
+    from contextlib import nullcontext
+
+    from repro.lint import sanitizer
+    from repro.load import ArrivalSpec, LoadSpec, run_load
+    from repro.load.report import (
+        DEFAULT_RECORDS_DIR,
+        append_load_record,
+        load_record,
+        render_load_report,
+    )
+
+    arrival_kwargs = dict(
+        process=args.arrival,
+        n_clients=args.clients,
+        n_events=args.events,
+        think_ms=args.think_ms,
+    )
+    if args.streams is not None:
+        arrival_kwargs["n_streams"] = args.streams
+    spec_kwargs = dict(
+        system=args.system,
+        mix=args.mix,
+        arrival=ArrivalSpec(**arrival_kwargs),
+        rate=args.rate,
+        servers=args.servers,
+        shards=args.shards,
+        replicas=args.replicas,
+        ack=args.ack,
+        remote_pct=args.remote_pct,
+        fault_rate=args.fault_rate,
+        seed=args.seed,
+    )
+    if args.multipliers is not None:
+        spec_kwargs["multipliers"] = tuple(args.multipliers)
+    try:
+        spec = LoadSpec(**spec_kwargs)
+    except ValueError as exc:
+        parser.error(str(exc))
+    # Stdout is a pure function of the seed (no wall clock, no host
+    # facts) so serial vs --jobs N and sanitized vs plain runs byte-diff
+    # clean; timestamps/provenance live only in the LOAD_<date> record.
+    with sanitizer.sanitizing(True) if args.sanitize else nullcontext():
+        result = run_load(spec, jobs=_resolve_jobs(args.jobs))
+        print(render_load_report(result))
+        status = 0
+        if args.sanitize and _report_sanitizer("load"):
+            status = 1
+    if not args.no_save:
+        path = append_load_record(
+            load_record(result), args.records_dir or DEFAULT_RECORDS_DIR
+        )
+        print(f"recorded: {path}")
+    return status
 
 
 def _collect_obs_buffers(panels) -> list:
@@ -435,6 +627,7 @@ def main(argv: list[str] | None = None) -> int:
             "chaos": _chaos_main,
             "validate": _validate_main,
             "perf": _perf_main,
+            "load": _load_main,
             "trace": _trace_main,
             "top": _top_main,
         }

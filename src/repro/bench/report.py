@@ -116,6 +116,39 @@ def render_summary_line(figure: FigureResult) -> str:
     return f"{figure.figure_id} [{figure.metric}] " + "  ".join(spans)
 
 
+# -- latency percentiles ------------------------------------------------------
+
+PERCENTILES = (50.0, 99.0, 99.9)
+"""The percentiles every latency report states: median, tail, far tail."""
+
+
+def percentile_label(q: float) -> str:
+    """p50 / p99 / p999-style label for a percentile value."""
+    text = f"{q:g}".replace(".", "")
+    return f"p{text}"
+
+
+def render_latency_percentiles(
+    samples, *, unit_ns: int = 1000, unit: str = "us",
+    percentiles: tuple[float, ...] = PERCENTILES,
+) -> str:
+    """One aligned line of nearest-rank percentiles for *samples* (ns).
+
+    Selection goes through :func:`repro.obs.nearest_rank` — an actual
+    sample, no interpolation — so the same multiset of samples renders
+    the same line no matter how it was merged (serial vs ``--jobs N``).
+    """
+    from repro.obs import nearest_rank
+
+    if not samples:
+        return "  ".join(f"{percentile_label(q)}=-" for q in percentiles)
+    parts = []
+    for q in percentiles:
+        value = nearest_rank(samples, q) / unit_ns
+        parts.append(f"{percentile_label(q)}={value:,.1f}{unit}")
+    return "  ".join(parts)
+
+
 # -- engine statistics and chaos runs ----------------------------------------
 
 

@@ -1,0 +1,238 @@
+"""Seeded arrival streams and the merged virtual-time timeline.
+
+A :class:`ArrivalSpec` describes an offered load: how many simulated
+clients, the aggregate arrival rate (transactions per second of
+*virtual* time), which arrival process shapes the rate over time, and
+the mean client think time.  Clients are partitioned into at most
+:attr:`ArrivalSpec.n_streams` cohorts; each cohort owns one
+:func:`repro.util.rng.child_rng` stream (string-seeded, so identical
+in every process) and generates its share of the arrival process with
+the Lewis–Shedler thinning algorithm: candidate arrivals at the peak
+rate, each accepted with probability ``rate(t) / peak``.  Thinning
+handles all three processes uniformly —
+
+* ``poisson`` — constant intensity (the open-loop baseline);
+* ``burst``  — a square wave of ``burst_cycles`` periods across the
+  horizon: ``burst_duty`` of each period runs at ``burst_factor``× the
+  base rate, the rest runs lower so the *mean* offered rate still
+  matches ``rate`` (horizon-relative, so the wave is visible whether
+  the horizon is microseconds or minutes);
+* ``flash``  — a flash crowd: one window of the horizon (fractions
+  ``flash_at`` .. ``flash_at + flash_width``) runs at
+  ``flash_factor``×, the rest lower, mean preserved.
+
+Each accepted arrival draws, from its cohort's stream, the client id
+within the cohort, a non-negative exponential think time (the client
+dallies before submitting), and the uniform variates the scenario mix
+turns into an operation and a (possibly Zipf-skewed) key.  Events are
+merged across cohorts by ``(t_ns, stream, seq)`` — a total order with
+no float ties — and truncated to ``n_events``, so the timeline is a
+pure function of ``(seed, tag, spec, mix, n_rows)``: byte-identical
+across processes, ``--jobs`` widths, and host platforms.
+
+Timestamps are **integer nanoseconds** of virtual time.  Nothing here
+reads a wall clock; the driver maps simulated CPU cycles and network
+ticks onto the same axis.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.load.scenarios import Mix, choose_op, pick_key
+from repro.util.rng import child_rng
+
+NS_PER_S = 1_000_000_000
+"""Virtual-time unit: integer nanoseconds."""
+
+POISSON = "poisson"
+BURST = "burst"
+FLASH = "flash"
+ARRIVAL_PROCESSES = (POISSON, BURST, FLASH)
+
+DEFAULT_STREAMS = 32
+"""Default cohort count: enough streams that per-cohort think-time and
+identity draws stay independent, few enough that a million clients
+cost nothing."""
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Shape of an offered load (picklable: sweep points fan out)."""
+
+    process: str = POISSON
+    n_clients: int = 1000
+    rate: float = 1000.0  # offered transactions per virtual second
+    n_events: int = 1200  # timeline cap (truncated after the merge)
+    n_streams: int = DEFAULT_STREAMS
+    think_ms: float = 0.0  # mean per-client think time (exponential)
+    # burst process: square wave of burst_cycles periods across the
+    # horizon; duty fraction of each period runs at factor x the rate.
+    burst_cycles: int = 5
+    burst_duty: float = 0.2
+    burst_factor: float = 4.0
+    # flash process: one spike window, as fractions of the horizon.
+    flash_at: float = 0.4
+    flash_width: float = 0.1
+    flash_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.process!r}; "
+                f"known: {', '.join(ARRIVAL_PROCESSES)}"
+            )
+        if self.n_clients < 1:
+            raise ValueError("n_clients must be >= 1")
+        if self.rate <= 0:
+            raise ValueError("rate must be > 0")
+        if self.n_events < 1:
+            raise ValueError("n_events must be >= 1")
+        if self.n_streams < 1:
+            raise ValueError("n_streams must be >= 1")
+        if self.think_ms < 0:
+            raise ValueError("think_ms must be >= 0")
+        if self.burst_cycles < 1:
+            raise ValueError("burst_cycles must be >= 1")
+        if not 0.0 < self.burst_duty < 1.0:
+            raise ValueError("burst_duty must be in (0, 1)")
+        if self.burst_factor < 1.0 or self.flash_factor < 1.0:
+            raise ValueError("burst/flash factors must be >= 1")
+        if not 0.0 <= self.flash_at < 1.0 or not 0.0 < self.flash_width <= 1.0:
+            raise ValueError("flash window must lie within the horizon")
+
+    def horizon_s(self) -> float:
+        """Virtual seconds the offered load spans (mean-rate arithmetic)."""
+        return self.n_events / self.rate
+
+    def streams(self) -> int:
+        return min(self.n_streams, self.n_clients)
+
+    def cohort(self, stream: int) -> tuple[int, int]:
+        """(first client id, cohort size) for *stream*; clients are
+        split as evenly as integer division allows."""
+        n_streams = self.streams()
+        base, extra = divmod(self.n_clients, n_streams)
+        size = base + (1 if stream < extra else 0)
+        lo = stream * base + min(stream, extra)
+        return lo, size
+
+    # -- rate shaping --------------------------------------------------------
+
+    def peak_multiplier(self) -> float:
+        if self.process == BURST:
+            return self.burst_factor
+        if self.process == FLASH:
+            return self.flash_factor
+        return 1.0
+
+    def multiplier_at(self, t_s: float, horizon_s: float) -> float:
+        """Intensity multiplier at virtual time *t_s* (mean is ~1.0)."""
+        if self.process == BURST:
+            frac = t_s / horizon_s if horizon_s > 0 else 0.0
+            phase = (frac * self.burst_cycles) % 1.0
+            if phase < self.burst_duty:
+                return self.burst_factor
+            low = (1.0 - self.burst_factor * self.burst_duty) / (1.0 - self.burst_duty)
+            return max(0.0, low)
+        if self.process == FLASH:
+            frac = t_s / horizon_s if horizon_s > 0 else 0.0
+            if self.flash_at <= frac < min(1.0, self.flash_at + self.flash_width):
+                return self.flash_factor
+            width = min(self.flash_width, 1.0 - self.flash_at)
+            if width >= 1.0:
+                return self.flash_factor
+            low = (1.0 - self.flash_factor * width) / (1.0 - width)
+            return max(0.0, low)
+        return 1.0
+
+
+@dataclass(frozen=True)
+class LoadEvent:
+    """One client request on the virtual-time timeline.
+
+    ``t_ns`` already includes the client's think time; ``(t_ns, stream,
+    seq)`` is the timeline's total order.  ``key`` is -1 for
+    ``insert`` operations — incremental-write keys are assigned by the
+    driver in timeline order so they are unique and deterministic.
+    """
+
+    t_ns: int
+    stream: int
+    seq: int
+    client: int
+    op: str
+    key: int
+    value_seed: int
+    think_ns: int
+
+
+def _stream_events(
+    spec: ArrivalSpec, mix: Mix, n_rows: int, seed, tag: str, stream: int
+) -> list[LoadEvent]:
+    """All of one cohort's arrivals inside the horizon, time-ordered."""
+    rng = child_rng(seed, f"load-arrival:{tag}:{stream}")
+    lo, size = spec.cohort(stream)
+    cohort_rate = spec.rate * size / spec.n_clients
+    peak = cohort_rate * spec.peak_multiplier()
+    horizon = spec.horizon_s()
+    think_lambd = 1000.0 / spec.think_ms if spec.think_ms > 0 else 0.0
+    events: list[LoadEvent] = []
+    peak_mult = spec.peak_multiplier()
+    t = 0.0
+    seq = 0
+    if peak <= 0:
+        return events
+    while True:
+        t += rng.expovariate(peak)
+        if t >= horizon:
+            break
+        # Lewis-Shedler thinning: accept at the instantaneous rate.
+        if rng.random() * peak_mult > spec.multiplier_at(t, horizon):
+            continue
+        think_ns = (
+            int(rng.expovariate(think_lambd) * NS_PER_S) if think_lambd > 0 else 0
+        )
+        client = lo + rng.randrange(size)
+        op = choose_op(mix, rng.random())
+        key = -1 if op == "insert" else pick_key(rng, n_rows, mix.theta)
+        events.append(
+            LoadEvent(
+                t_ns=int(t * NS_PER_S) + think_ns,
+                stream=stream,
+                seq=seq,
+                client=client,
+                op=op,
+                key=key,
+                value_seed=rng.getrandbits(30),
+                think_ns=think_ns,
+            )
+        )
+        seq += 1
+    return events
+
+
+def build_timeline(
+    spec: ArrivalSpec, mix: Mix, n_rows: int, seed, tag: str = "base"
+) -> list[LoadEvent]:
+    """The merged virtual-time timeline, capped at ``spec.n_events``.
+
+    *tag* namespaces the cohort RNG streams so every point of a
+    saturation sweep draws independent arrivals — adding a sweep point
+    cannot perturb another point's timeline.
+    """
+    merged: list[LoadEvent] = []
+    for stream in range(spec.streams()):
+        merged.extend(_stream_events(spec, mix, n_rows, seed, tag, stream))
+    merged.sort(key=lambda e: (e.t_ns, e.stream, e.seq))
+    return merged[: spec.n_events]
+
+
+def timeline_digest(events: list[LoadEvent]) -> int:
+    """Checksum of a timeline (regression pin for determinism tests)."""
+    content = tuple(
+        (e.t_ns, e.stream, e.seq, e.client, e.op, e.key, e.value_seed)
+        for e in events
+    )
+    return zlib.crc32(repr(content).encode())

@@ -1,0 +1,490 @@
+"""The open-loop event-queue scheduler.
+
+Replays a merged arrival timeline (see :mod:`repro.load.arrivals`)
+against a backend — a plain engine, a
+:class:`~repro.replication.group.ReplicationGroup`, or a
+:class:`~repro.sharding.cluster.ShardedCluster` — on a single
+virtual-time axis:
+
+* **arrival** — the event's timeline timestamp (think time included);
+* **queueing delay** — the request waits until one of ``servers``
+  virtual service slots frees up; an open-loop client does not care
+  that the previous request has not finished;
+* **service time** — what the simulated hardware charges: replayed
+  trace cycles through the cycle-accurate :class:`~repro.core.machine.
+  Machine` (cycles / clock GHz -> ns) for engine work, plus
+  :data:`TICK_NS` per :class:`~repro.replication.network.SimNetwork`
+  fabric tick for replication acks and 2PC rounds.
+
+Latency = queueing + service, which is exactly the quantity closed-loop
+harnesses cannot report: when offered load exceeds capacity the queue
+grows without bound over the horizon and the tail percentiles explode
+while goodput flattens at capacity — the saturation curve.
+
+A sweep runs the timeline at several offered-load multipliers around a
+capacity estimate (probed by running a short back-to-back batch, i.e.
+a closed loop, on a fresh backend).  Each sweep point is an
+independent task with its own tagged RNG streams and its own backend,
+so points fan out across worker processes bit-identically to the
+serial path — same task list, same seeds, results folded in
+submission order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro import obs
+from repro.core.machine import Machine
+from repro.core.spec import IVY_BRIDGE
+from repro.engines.base import COMMITTED
+from repro.engines.config import EngineConfig
+from repro.engines.registry import make_engine
+from repro.faults.injector import ABORT, FaultInjector, FaultSpec, TXN_BODY
+from repro.lint import sanitizer
+from repro.load.arrivals import (
+    NS_PER_S,
+    ArrivalSpec,
+    LoadEvent,
+    build_timeline,
+)
+from repro.load.scenarios import INSERT, MIXES, READ, UPDATE, Mix
+from repro.replication.group import ACK_MODES, ReplicationGroup, ReplicationSpec
+from repro.sharding.cluster import ShardSpec, ShardedCluster
+from repro.storage.record import LONG
+from repro.util.rng import child_rng
+from repro.workloads.microbench import BYTES_PER_ROW, TABLE, MicroBenchmark
+
+TICK_NS = 50_000
+"""Virtual nanoseconds per SimNetwork fabric tick (50 us): a LAN-ish
+round-trip unit, so replication acks and 2PC rounds land on the same
+virtual-time axis as replayed CPU cycles."""
+
+PROBE_TXNS = 32
+"""Back-to-back transactions the capacity probe measures."""
+
+PROBE_WARMUP = 8
+"""Probe transactions discarded before measuring: first touches pay
+cold-cache service times no steady-state request sees."""
+
+DEFAULT_MULTIPLIERS = (0.25, 0.5, 1.0, 2.0, 4.0)
+"""Offered-load multipliers of the saturation sweep (x capacity or
+x ``--rate``), under-load through 4x overload."""
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One open-loop load experiment (picklable: points fan out)."""
+
+    system: str = "hyper"
+    mix: str = "read-write"
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    rate: float | None = None  # None = calibrate to probed capacity
+    servers: int = 1  # virtual service slots (queue drains this wide)
+    n_rows: int = 2000
+    # Backend: shards > 0 runs a ShardedCluster (its own TPC-C
+    # distributed mix — scenario mixes model single-site traffic);
+    # otherwise replicas > 0 runs a ReplicationGroup; else plain.
+    shards: int = 0
+    replicas: int = 0
+    ack: str = "quorum"
+    remote_pct: float = 10.0
+    # Per-hit probability of an injected TXN_BODY abort (chaos rides
+    # along the open loop; aborted requests still occupy the server).
+    fault_rate: float = 0.0
+    seed: int = 42
+    multipliers: tuple[float, ...] = DEFAULT_MULTIPLIERS
+
+    def __post_init__(self) -> None:
+        if self.mix not in MIXES:
+            raise ValueError(
+                f"unknown mix {self.mix!r}; known: {', '.join(sorted(MIXES))}"
+            )
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be > 0")
+        if self.servers < 1:
+            raise ValueError("servers must be >= 1")
+        if self.n_rows < 1000:
+            raise ValueError("n_rows must be >= 1000 (microbench minimum)")
+        if self.shards < 0 or self.replicas < 0:
+            raise ValueError("shards/replicas must be >= 0")
+        if self.ack not in ACK_MODES:
+            raise ValueError(
+                f"unknown ack mode {self.ack!r}; known: {', '.join(ACK_MODES)}"
+            )
+        if not 0.0 <= self.remote_pct <= 100.0:
+            raise ValueError("remote_pct must be in [0, 100]")
+        if not 0.0 <= self.fault_rate < 1.0:
+            raise ValueError("fault_rate must be in [0, 1)")
+        if not self.multipliers:
+            raise ValueError("need at least one sweep multiplier")
+        if any(m <= 0 for m in self.multipliers):
+            raise ValueError("sweep multipliers must be > 0")
+
+    def backend_label(self) -> str:
+        if self.shards > 0:
+            detail = f"{self.shards} shards"
+            if self.replicas > 0:
+                detail += f" x {self.replicas} replicas ({self.ack})"
+            return f"sharded ({detail}, {self.remote_pct:g}% remote)"
+        if self.replicas > 0:
+            return f"replicated ({self.replicas} replicas, {self.ack})"
+        return "plain"
+
+    def the_mix(self) -> Mix:
+        return MIXES[self.mix]
+
+
+@dataclass(frozen=True)
+class LoadPointResult:
+    """One sweep point: offered load vs what the system delivered.
+
+    ``latencies_ns`` is the merged seed-order sample list (timeline
+    order) — percentiles are taken from it with nearest-rank selection,
+    so they are actual samples and independent of how the points were
+    executed.
+    """
+
+    multiplier: float
+    offered_tps: float
+    achieved_tps: float
+    committed: int
+    aborted: int
+    n_events: int
+    horizon_ns: int
+    makespan_ns: int  # last completion (== horizon when keeping up)
+    queueing_ns: tuple[int, ...]
+    service_ns: tuple[int, ...]
+    rng_draws: dict = field(default_factory=dict, compare=False)
+    obs_metrics: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def latencies_ns(self) -> tuple[int, ...]:
+        return tuple(q + s for q, s in zip(self.queueing_ns, self.service_ns))
+
+    def mean_queueing_ns(self) -> float:
+        return sum(self.queueing_ns) / len(self.queueing_ns) if self.queueing_ns else 0.0
+
+    def mean_service_ns(self) -> float:
+        return sum(self.service_ns) / len(self.service_ns) if self.service_ns else 0.0
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """A full sweep: capacity estimate + one point per multiplier."""
+
+    spec: LoadSpec
+    capacity_tps: float
+    base_rate: float
+    points: tuple[LoadPointResult, ...]
+    rng_draws: dict = field(default_factory=dict, compare=False)
+
+
+# -- backends -----------------------------------------------------------------
+
+
+class _PlainBackend:
+    """One engine + cycle-accurate machine; service = replayed cycles."""
+
+    def __init__(self, spec: LoadSpec, tag: str) -> None:
+        self.workload = MicroBenchmark(db_bytes=spec.n_rows * BYTES_PER_ROW)
+        self.n_rows = self.workload.n_rows
+        self.engine = make_engine(
+            spec.system, EngineConfig(materialize_threshold=0)
+        )
+        self.workload.setup(self.engine)
+        self.machine = Machine(IVY_BRIDGE)
+        self.ns_per_cycle = 1.0 / IVY_BRIDGE.clock_ghz
+        from repro.bench.runner import prewarm_llc
+
+        prewarm_llc(self.machine, self.engine)
+        if spec.fault_rate > 0:
+            self.engine.attach_injector(
+                FaultInjector(
+                    [FaultSpec(TXN_BODY, ABORT, probability=spec.fault_rate, times=-1)],
+                    seed=spec.seed,
+                )
+            )
+
+    def _body(self, event: LoadEvent, key: int):
+        op = event.op
+        if op == READ:
+
+            def body(txn) -> None:
+                txn.read(TABLE, key)
+
+        elif op == UPDATE:
+            new_value = LONG.default_value(event.value_seed)
+
+            def body(txn) -> None:
+                txn.update(TABLE, key, "value", new_value)
+
+        elif op == INSERT:
+            row = (key, LONG.default_value(event.value_seed))
+
+            def body(txn) -> None:
+                txn.insert(TABLE, row, key=key)
+
+        else:  # pragma: no cover - Mix validation rejects unknown ops
+            raise ValueError(f"unknown op {op!r}")
+        return body
+
+    def execute(self, event: LoadEvent, key: int) -> tuple[int, bool]:
+        trace = self.engine.execute(f"load_{event.op}", self._body(event, key))
+        committed = self.engine.last_outcome == COMMITTED
+        delta = self.machine.run_trace(trace, transactions=1 if committed else 0)
+        return int(delta.cycles * self.ns_per_cycle), committed
+
+
+class _ReplicatedBackend(_PlainBackend):
+    """Primary + replicas; service adds the ack round's fabric ticks."""
+
+    def __init__(self, spec: LoadSpec, tag: str) -> None:
+        self.workload = MicroBenchmark(db_bytes=spec.n_rows * BYTES_PER_ROW)
+        self.n_rows = self.workload.n_rows
+        self.spec = spec
+
+        def factory():
+            engine = make_engine(spec.system, EngineConfig(materialize_threshold=0))
+            self.workload.setup(engine)
+            log = engine.recovery_log()
+            if log is None:
+                raise ValueError(
+                    f"{spec.system} exposes no recovery log; replicated load "
+                    f"needs a WAL-shipping primary"
+                )
+            log.retain_all = True
+            return engine, log
+
+        self.group = ReplicationGroup(
+            ReplicationSpec(n_replicas=spec.replicas, ack=spec.ack),
+            factory,
+            seed=spec.seed,
+        )
+        self.engine = self.group.engine
+        self.machine = Machine(IVY_BRIDGE)
+        self.ns_per_cycle = 1.0 / IVY_BRIDGE.clock_ghz
+        from repro.bench.runner import prewarm_llc
+
+        prewarm_llc(self.machine, self.engine)
+        if spec.fault_rate > 0:
+            self.group.attach_injector(
+                FaultInjector(
+                    [FaultSpec(TXN_BODY, ABORT, probability=spec.fault_rate, times=-1)],
+                    seed=spec.seed,
+                )
+            )
+
+    def execute(self, event: LoadEvent, key: int) -> tuple[int, bool]:
+        ticks_before = self.group.net.clock
+        outcome = self.group.submit(f"load_{event.op}", self._body(event, key))
+        committed = outcome == COMMITTED
+        # The primary's reused trace object holds exactly this txn's
+        # events after submit(); replaying it prices the engine work.
+        delta = self.machine.run_trace(
+            self.engine._trace, transactions=1 if committed else 0
+        )
+        tick_ns = (self.group.net.clock - ticks_before) * TICK_NS
+        return int(delta.cycles * self.ns_per_cycle) + tick_ns, committed
+
+
+class _ShardedBackend:
+    """A ShardedCluster; service = the 2PC round's fabric ticks.
+
+    The cluster drives its own TPC-C distributed mix (``remote_pct``
+    cross-shard) — the timeline supplies *when* clients submit, the
+    cluster decides *what* a distributed transaction is.  Engine-side
+    cycle replay is skipped: cross-shard latency is protocol-dominated,
+    and pricing N shard engines per request would swamp the quick spec.
+    """
+
+    def __init__(self, spec: LoadSpec, tag: str) -> None:
+        self.cluster = ShardedCluster(
+            ShardSpec(
+                n_shards=spec.shards,
+                system=spec.system,
+                replicas=spec.replicas,
+                ack=spec.ack if spec.replicas > 0 else "async",
+                remote_pct=spec.remote_pct,
+                seed=spec.seed,
+            )
+        )
+        if spec.fault_rate > 0:
+            self.cluster.attach_injector(
+                FaultInjector(
+                    [FaultSpec(TXN_BODY, ABORT, probability=spec.fault_rate, times=-1)],
+                    seed=spec.seed,
+                )
+            )
+        self.rng = child_rng(spec.seed, f"load-cluster:{tag}")
+        self.n_rows = spec.n_rows
+
+    def execute(self, event: LoadEvent, key: int) -> tuple[int, bool]:
+        ticks_before = self.cluster.net.clock
+        outcome = self.cluster.submit_next(self.rng)
+        ticks = self.cluster.net.clock - ticks_before
+        # A purely local txn spends no fabric ticks; charge one tick so
+        # service time is never zero (the request did round-trip a node).
+        return max(ticks, 1) * TICK_NS, outcome == COMMITTED
+
+
+def _make_backend(spec: LoadSpec, tag: str):
+    if spec.shards > 0:
+        return _ShardedBackend(spec, tag)
+    if spec.replicas > 0:
+        return _ReplicatedBackend(spec, tag)
+    return _PlainBackend(spec, tag)
+
+
+# -- the scheduler ------------------------------------------------------------
+
+
+def _replay_timeline(
+    spec: LoadSpec, events: list[LoadEvent], backend
+) -> tuple[list[int], list[int], int, int, int]:
+    """Run the timeline through the queue; returns per-event delays.
+
+    ``servers`` virtual slots drain the queue; each request starts at
+    ``max(arrival, earliest free slot)`` — an M/G/c queue whose service
+    process is the simulated system itself.
+    """
+    server_free = [0] * spec.servers
+    queueing: list[int] = []
+    service: list[int] = []
+    committed = 0
+    aborted = 0
+    makespan = 0
+    next_key = backend.n_rows  # incremental-write keys: fresh, monotonic
+    for event in events:
+        slot = 0
+        for i in range(1, len(server_free)):
+            if server_free[i] < server_free[slot]:
+                slot = i
+        start = max(event.t_ns, server_free[slot])
+        if event.op == INSERT:
+            key = next_key
+            next_key += 1
+        else:
+            key = event.key
+        service_ns, ok = backend.execute(event, key)
+        server_free[slot] = start + service_ns
+        makespan = max(makespan, server_free[slot])
+        queueing.append(start - event.t_ns)
+        service.append(service_ns)
+        if ok:
+            committed += 1
+        else:
+            aborted += 1
+    return queueing, service, committed, aborted, makespan
+
+
+def probe_capacity(spec: LoadSpec) -> float:
+    """Closed-loop capacity estimate: back-to-back txns on a fresh backend.
+
+    Returns transactions per virtual second the ``servers`` slots can
+    drain.  Deterministic (own tagged streams), and run once in the
+    parent before the sweep so every point prices against the same
+    number — serial and ``--jobs N`` see identical task lists.
+    """
+    probe_arrival = replace(
+        spec.arrival, process="poisson", n_events=PROBE_WARMUP + PROBE_TXNS
+    )
+    events = build_timeline(
+        probe_arrival, spec.the_mix(), spec.n_rows, spec.seed, tag="probe"
+    )
+    backend = _make_backend(spec, "probe")
+    total_service_ns = 0
+    completed = 0
+    next_key = backend.n_rows
+    for i, event in enumerate(events):
+        if event.op == INSERT:
+            key = next_key
+            next_key += 1
+        else:
+            key = event.key
+        service_ns, _ok = backend.execute(event, key)
+        if i < PROBE_WARMUP:
+            continue  # cold-start services would understate capacity
+        total_service_ns += service_ns
+        completed += 1
+    if total_service_ns <= 0:  # pragma: no cover - service is never free
+        return float(spec.servers)
+    return spec.servers * completed * NS_PER_S / total_service_ns
+
+
+def run_load_point(spec: LoadSpec, multiplier: float, rate: float) -> LoadPointResult:
+    """One sweep point: module-level so worker processes can run it."""
+    arrival = replace(spec.arrival, rate=rate)
+    tag = f"x{multiplier:g}"
+    events = build_timeline(arrival, spec.the_mix(), spec.n_rows, spec.seed, tag=tag)
+    backend = _make_backend(spec, tag)
+    queueing, service, committed, aborted, makespan = _replay_timeline(
+        spec, events, backend
+    )
+    horizon_ns = int(arrival.horizon_s() * NS_PER_S)
+    # Goodput over the virtual time it actually took: when the system
+    # keeps up the makespan ~= horizon and achieved ~= offered; when
+    # overloaded the makespan stretches and achieved pins at capacity.
+    elapsed_ns = max(horizon_ns, makespan, 1)
+    achieved = committed * NS_PER_S / elapsed_ns
+    for q, s in zip(queueing, service):
+        obs.observe("load.latency_ns", q + s, mix=spec.mix, point=tag)
+        obs.observe("load.queueing_ns", q, mix=spec.mix, point=tag)
+    obs.inc("load.committed", committed, mix=spec.mix, point=tag)
+    obs.inc("load.aborted", aborted, mix=spec.mix, point=tag)
+    return LoadPointResult(
+        multiplier=multiplier,
+        offered_tps=rate,
+        achieved_tps=achieved,
+        committed=committed,
+        aborted=aborted,
+        n_events=len(events),
+        horizon_ns=horizon_ns,
+        makespan_ns=makespan,
+        queueing_ns=tuple(queueing),
+        service_ns=tuple(service),
+        rng_draws=sanitizer.drain_draws() if sanitizer.enabled() else {},
+        obs_metrics=obs.drain_metrics(),
+    )
+
+
+def _run_point_task(task: tuple[LoadSpec, float, float]) -> LoadPointResult:
+    spec, multiplier, rate = task
+    return run_load_point(spec, multiplier, rate)
+
+
+def run_load(spec: LoadSpec, jobs: int | None = None) -> LoadResult:
+    """Probe capacity, then sweep the multipliers (parallel when asked).
+
+    Sweep points are independent tasks in multiplier order; with *jobs*
+    > 1 they fan out over a process pool and fold back in submission
+    order, bit-identical to the serial path (same seeds, same task
+    list, no shared state).
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.bench.parallel import get_jobs
+
+    capacity = probe_capacity(spec)
+    probe_draws = sanitizer.drain_draws() if sanitizer.enabled() else {}
+    base_rate = spec.rate if spec.rate is not None else max(capacity, 1.0)
+    tasks = [(spec, m, base_rate * m) for m in spec.multipliers]
+    n_jobs = get_jobs() if jobs is None else max(1, jobs)
+    if n_jobs > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+            points = list(pool.map(_run_point_task, tasks, chunksize=1))
+    else:
+        points = [_run_point_task(task) for task in tasks]
+    # Fold in submission (= multiplier) order; an unordered container
+    # reaching this merge would be a determinism bug the sanitizer flags.
+    points = sanitizer.checked_merge(points, "load-sweep")
+    rng_draws: dict = dict(probe_draws)
+    for point in points:
+        sanitizer.merge_draws(rng_draws, point.rng_draws)
+    return LoadResult(
+        spec=spec,
+        capacity_tps=capacity,
+        base_rate=base_rate,
+        points=tuple(points),
+        rng_draws=rng_draws,
+    )

@@ -1,0 +1,190 @@
+"""Load-report rendering and dated LOAD_<date>.json records.
+
+Two outputs with deliberately different determinism contracts:
+
+* :func:`render_load_report` — the stdout report.  **No timestamps, no
+  host facts**: CI byte-diffs it serial vs ``--jobs N`` and sanitized
+  vs plain, so every character must be a pure function of the seed.
+* :func:`load_record` / :func:`append_load_record` — the dated JSON
+  record next to the BENCH records (``benchmarks/records/
+  LOAD_<date>.json``).  Records carry wall-clock timestamps and
+  provenance (git SHA, python, platform) because a load trajectory is
+  only attributable with them; they never reach stdout.
+
+Percentiles are nearest-rank over the merged seed-order sample list
+(see :func:`repro.obs.nearest_rank`): actual samples, no
+interpolation, identical across execution plans.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.report import (
+    PERCENTILES,
+    _rule,
+    percentile_label,
+    render_latency_percentiles,
+)
+from repro.load.driver import LoadPointResult, LoadResult
+from repro.obs import nearest_rank
+
+DEFAULT_RECORDS_DIR = Path("benchmarks") / "records"
+
+
+def saturation_rows(result: LoadResult) -> list[dict]:
+    """The throughput-vs-offered-load curve as plain dicts (ns -> us)."""
+    rows = []
+    for point in result.points:
+        latencies = point.latencies_ns
+        row = {
+            "multiplier": point.multiplier,
+            "offered_tps": point.offered_tps,
+            "achieved_tps": point.achieved_tps,
+            "committed": point.committed,
+            "aborted": point.aborted,
+            "events": point.n_events,
+            "mean_queueing_us": point.mean_queueing_ns() / 1000,
+            "mean_service_us": point.mean_service_ns() / 1000,
+        }
+        for q in PERCENTILES:
+            row[f"{percentile_label(q)}_us"] = (
+                nearest_rank(latencies, q) / 1000 if latencies else None
+            )
+        rows.append(row)
+    return rows
+
+
+def _render_point(point: LoadPointResult) -> str:
+    latencies = point.latencies_ns
+    stretch = point.makespan_ns / point.horizon_ns if point.horizon_ns else 1.0
+    lines = [
+        f"x{point.multiplier:g} offered {point.offered_tps:,.0f} tps -> "
+        f"achieved {point.achieved_tps:,.0f} tps  "
+        f"({point.committed} committed, {point.aborted} aborted, "
+        f"{point.n_events} events, makespan {stretch:.2f}x horizon)",
+        f"  latency   {render_latency_percentiles(latencies)}",
+        f"  queueing  mean {point.mean_queueing_ns() / 1000:,.1f}us   "
+        f"service mean {point.mean_service_ns() / 1000:,.1f}us",
+    ]
+    return "\n".join(lines)
+
+
+def render_load_report(result: LoadResult) -> str:
+    """The full sweep report (deterministic: safe to byte-diff)."""
+    spec = result.spec
+    arrival = spec.arrival
+    header = (
+        f"load {spec.system} x {spec.mix} [{spec.backend_label()}]: "
+        f"{arrival.n_clients:,} clients, {arrival.process} arrivals"
+    )
+    lines = [header, _rule(len(header))]
+    rate_src = "given" if spec.rate is not None else "probed capacity"
+    lines.append(
+        f"capacity ~{result.capacity_tps:,.0f} tps "
+        f"({spec.servers} server slot{'s' if spec.servers != 1 else ''}); "
+        f"base rate {result.base_rate:,.0f} tps ({rate_src}); "
+        f"{arrival.n_events} events/point over "
+        f"{arrival.streams()} arrival streams"
+        + (f"; think {arrival.think_ms:g}ms" if arrival.think_ms > 0 else "")
+    )
+    for point in result.points:
+        lines.append("")
+        lines.append(_render_point(point))
+    lines.append("")
+    lines.append(render_saturation_curve(result))
+    return "\n".join(lines)
+
+
+def render_saturation_curve(result: LoadResult) -> str:
+    """Aligned saturation table: offered vs achieved vs tail latency."""
+    head = (
+        f"{'offered':>12}{'achieved':>12}{'goodput':>9}"
+        f"{'p50us':>11}{'p99us':>11}{'p999us':>11}"
+    )
+    lines = ["saturation curve (throughput vs offered load)", head]
+    for row in saturation_rows(result):
+        goodput = (
+            row["achieved_tps"] / row["offered_tps"] if row["offered_tps"] else 0.0
+        )
+        lines.append(
+            f"{row['offered_tps']:>12,.0f}{row['achieved_tps']:>12,.0f}"
+            f"{goodput:>8.0%} "
+            + "".join(
+                f"{row[f'{percentile_label(q)}_us'] or 0.0:>11,.1f}"
+                for q in PERCENTILES
+            )
+        )
+    return "\n".join(lines)
+
+
+# -- dated records ------------------------------------------------------------
+
+
+def load_record(result: LoadResult) -> dict:
+    """One dated record for the LOAD_<date>.json trajectory.
+
+    Wall-clock timestamp and host provenance live here, and only here —
+    never in the stdout report.
+    """
+    from repro.bench.perf import provenance
+    from repro.util.clock import timestamp, today
+
+    spec = result.spec
+    arrival = spec.arrival
+    return {
+        "date": today(),
+        "timestamp": timestamp(),
+        "provenance": provenance(),
+        "spec": {
+            "system": spec.system,
+            "mix": spec.mix,
+            "backend": spec.backend_label(),
+            "process": arrival.process,
+            "clients": arrival.n_clients,
+            "streams": arrival.streams(),
+            "events_per_point": arrival.n_events,
+            "think_ms": arrival.think_ms,
+            "servers": spec.servers,
+            "shards": spec.shards,
+            "replicas": spec.replicas,
+            "ack": spec.ack,
+            "fault_rate": spec.fault_rate,
+            "seed": spec.seed,
+        },
+        "capacity_tps": result.capacity_tps,
+        "base_rate_tps": result.base_rate,
+        "points": saturation_rows(result),
+    }
+
+
+def append_load_record(record: dict, records_dir: Path = DEFAULT_RECORDS_DIR) -> Path:
+    """Append *record* to today's LOAD_<date>.json (creating it)."""
+    records_dir.mkdir(parents=True, exist_ok=True)
+    path = records_dir / f"LOAD_{record['date']}.json"
+    existing: list[dict] = []
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+            existing = data if isinstance(data, list) else [data]
+        except (OSError, json.JSONDecodeError):
+            existing = []
+    existing.append(record)
+    path.write_text(json.dumps(existing, indent=2) + "\n")
+    return path
+
+
+def horizon_seconds(result: LoadResult) -> float:
+    """Virtual seconds one sweep point spans (for context in docs/tests)."""
+    return result.spec.arrival.n_events / result.base_rate if result.base_rate else 0.0
+
+
+__all__ = [
+    "DEFAULT_RECORDS_DIR",
+    "append_load_record",
+    "load_record",
+    "render_load_report",
+    "render_saturation_curve",
+    "saturation_rows",
+]

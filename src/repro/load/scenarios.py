@@ -1,0 +1,99 @@
+"""Scenario mixes: what the simulated clients actually submit.
+
+Mirrors the locust scenario files of the ``sqlite-performance`` load
+harness (read-only / read-write / write-only / incremental-write):
+each :class:`Mix` is a weighted set of single-row operations over the
+micro-benchmark table plus a Zipf hot-key skew parameter.  The
+``incremental-write`` mix models append-style ingest — every
+transaction inserts a fresh, monotonically increasing key — while the
+others pick existing keys with Zipf-distributed popularity (``theta``
+= 0 degenerates to uniform).
+
+Operation and key choice consume uniform variates drawn from the
+cohort's arrival stream (see :mod:`repro.load.arrivals`), so a mix is
+deterministic per seed and adding an operation kind to one mix cannot
+shift another mix's draws.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.keys import zipf_key
+
+READ = "read"
+UPDATE = "update"
+INSERT = "insert"
+
+OPS = (READ, UPDATE, INSERT)
+
+
+@dataclass(frozen=True)
+class Mix:
+    """A named transaction mix with hot-key skew."""
+
+    name: str
+    ops: tuple[tuple[str, float], ...]
+    theta: float = 0.8  # Zipf skew for key choice (0 = uniform)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.ops:
+            raise ValueError("a mix needs at least one operation")
+        for op, weight in self.ops:
+            if op not in OPS:
+                raise ValueError(f"unknown operation {op!r}; known: {', '.join(OPS)}")
+            if weight <= 0:
+                raise ValueError("operation weights must be > 0")
+        if not 0.0 <= self.theta < 1.0:
+            raise ValueError("theta must be in [0, 1)")
+
+    def total_weight(self) -> float:
+        return sum(weight for _, weight in self.ops)
+
+
+MIXES: dict[str, Mix] = {
+    mix.name: mix
+    for mix in (
+        Mix(
+            "read-only",
+            ((READ, 1.0),),
+            description="100% point reads on skewed keys",
+        ),
+        Mix(
+            "read-write",
+            ((READ, 0.8), (UPDATE, 0.2)),
+            description="80/20 read/update on skewed keys",
+        ),
+        Mix(
+            "write-only",
+            ((UPDATE, 1.0),),
+            description="100% single-row updates on skewed keys",
+        ),
+        Mix(
+            "incremental-write",
+            ((INSERT, 1.0),),
+            theta=0.0,
+            description="append-style ingest: fresh monotonically increasing keys",
+        ),
+    )
+}
+
+
+def choose_op(mix: Mix, u: float) -> str:
+    """Map a uniform variate in [0, 1) onto the mix's weighted ops."""
+    r = u * mix.total_weight()
+    acc = 0.0
+    for op, weight in mix.ops:
+        acc += weight
+        if r < acc:
+            return op
+    return mix.ops[-1][0]
+
+
+def pick_key(rng: random.Random, n_rows: int, theta: float) -> int:
+    """A (possibly Zipf-skewed) existing key in [0, n_rows)."""
+    if theta <= 0.0:
+        return rng.randrange(n_rows)
+    return zipf_key(rng, n_rows, theta)

@@ -20,7 +20,13 @@ Import those explicitly where needed (the CLI and report layer do).
 
 from __future__ import annotations
 
-from repro.obs.metrics import REGISTRY, Histogram, MetricsRegistry, merge_snapshots
+from repro.obs.metrics import (
+    REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    nearest_rank,
+)
 from repro.obs.tracing import (
     NOOP_SPAN,
     PHASE_COMPLETE,
@@ -58,6 +64,7 @@ __all__ = [
     "inc",
     "mark",
     "merge_snapshots",
+    "nearest_rank",
     "observe",
     "set_gauge",
     "span",

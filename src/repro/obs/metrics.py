@@ -69,6 +69,57 @@ class Histogram:
             return 0.0
         return float((1 << index) - 1)
 
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile resolved to the bucket upper edge.
+
+        The histogram only knows buckets, so the answer is conservative
+        (the true sample is <= the reported edge) — but it is computed
+        with the same integer nearest-rank arithmetic as
+        :func:`nearest_rank`, so merging histograms in any order yields
+        the same quantile.  Raises on an empty histogram.
+        """
+        if self.count <= 0:
+            raise ValueError("quantile of an empty histogram")
+        k = _nearest_rank_index(q, self.count) + 1  # 1-based target rank
+        seen = 0
+        for i in sorted(self.buckets):
+            seen += self.buckets[i]
+            if seen >= k:
+                return self.upper_bound(i)
+        return self.upper_bound(max(self.buckets))
+
+
+def _nearest_rank_index(q: float, n: int) -> int:
+    """0-based nearest-rank index for percentile *q* over *n* samples.
+
+    Integer arithmetic throughout: *q* is snapped to basis points
+    (p99.9 -> 9990) so ``ceil(q/100 * n)`` cannot pick up a
+    float-rounding extra rank (0.99 * 100 is 99.00000000000001 in
+    binary floating point; ceiling that would silently turn p99 of 100
+    samples into the maximum).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    if n < 1:
+        raise ValueError("nearest rank needs at least one sample")
+    q_bp = round(q * 100)  # basis points: exact integers for p50/p99/p999
+    k = -(-(q_bp * n) // 10_000)  # ceil without floats
+    return max(1, min(k, n)) - 1
+
+
+def nearest_rank(values, q: float):
+    """Deterministic nearest-rank percentile: an *actual sample*.
+
+    Sorts a copy of *values* and selects the 1-based rank
+    ``ceil(q/100 * n)`` (computed in integer arithmetic — see
+    :func:`_nearest_rank_index`).  No interpolation and no running
+    float sums, so the result is independent of the order the samples
+    were merged in: serial and ``--jobs N`` runs that produce the same
+    multiset of samples report byte-identical percentiles.
+    """
+    ordered = sorted(values)
+    return ordered[_nearest_rank_index(q, len(ordered))]
+
 
 class MetricsRegistry:
     """Counters, gauges, and histograms keyed by (name, sorted labels)."""

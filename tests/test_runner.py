@@ -4,15 +4,18 @@ import pytest
 
 from repro.bench.runner import (
     ExperimentRunner,
+    MIN_MEASURED_TXNS,
     QUICK_MEASURE_EVENTS,
     RunSpec,
     prewarm_llc,
 )
 from repro.core.machine import Machine
+from repro.engines.base import UserAbort
 from repro.engines.config import EngineConfig
 from repro.engines.registry import make_engine
 from repro.engines.common import TableSpec
 from repro.storage.record import microbench_schema
+from repro.workloads.base import Workload
 from repro.workloads.microbench import MicroBenchmark
 
 
@@ -107,3 +110,75 @@ class TestRun:
                        measure_events=5000, warmup_events=1000)
         result = ExperimentRunner(spec, micro_factory).run()
         assert result.counters.transactions >= 12
+
+
+class _ColdStart(Workload):
+    """Aborts every attempt until attempt ``thaw``, then always commits.
+
+    With ``thaw`` past the warmup attempt cap (MIN_WARMUP_TXNS * 1000 =
+    8000), the warmup phase can never reach its commit floor — the
+    exact quick-spec edge: before the best-effort fix this workload
+    made the runner raise during warmup even though the measure window
+    would have been perfectly healthy."""
+
+    name = "coldstart"
+
+    def __init__(self, thaw: int = 9000) -> None:
+        self.thaw = thaw
+        self.attempts = 0
+
+    def table_specs(self):
+        return [TableSpec("t", microbench_schema(), 1000)]
+
+    def next_transaction(self, rng, *, partition=None, n_partitions=1):
+        self.attempts += 1
+        frozen = self.attempts <= self.thaw
+        key = rng.randrange(1000)
+
+        def body(txn):
+            txn.update("t", key, "value", 1)
+            if frozen:
+                raise UserAbort("still cold")
+
+        return "coldstart", body
+
+
+class _NeverCommits(Workload):
+    name = "never"
+
+    def table_specs(self):
+        return [TableSpec("t", microbench_schema(), 1000)]
+
+    def next_transaction(self, rng, *, partition=None, n_partitions=1):
+        def body(txn):
+            raise UserAbort("always aborts")
+
+        return "never", body
+
+
+class TestWarmupTermination:
+    """The quick-spec warmup edge: MIN_WARMUP_TXNS can exceed what the
+    warmup event budget produces.  Warmup must terminate (best-effort)
+    and the measure window must never be empty (strict)."""
+
+    def test_warmup_cap_is_best_effort_and_window_fills(self):
+        spec = RunSpec(
+            system="hyper", measure_events=2000, warmup_events=200, repetitions=1
+        )
+        result = ExperimentRunner(spec, _ColdStart).run()
+        # Warmup stopped at its attempt cap without raising; the strict
+        # measure phase still reached its commit floor — the measure
+        # window is never empty.
+        assert result.measured_txns >= MIN_MEASURED_TXNS
+        assert result.counters.transactions == result.measured_txns
+
+    def test_hopeless_workload_fails_in_measure_not_warmup(self):
+        spec = RunSpec(
+            system="hyper", measure_events=10, warmup_events=10, repetitions=1
+        )
+        with pytest.raises(RuntimeError, match="measure") as excinfo:
+            ExperimentRunner(spec, _NeverCommits).run()
+        # The failure is attributed to the measure phase: warmup no
+        # longer dies first on a workload that cannot commit.
+        assert "warmup" not in str(excinfo.value)
+        assert "cannot make progress" in str(excinfo.value)
