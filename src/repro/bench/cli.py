@@ -10,13 +10,18 @@ Usage::
     python -m repro.bench load --clients 1000000 --arrival flash   # open loop
     python -m repro.bench trace fig1 --out trace.json   # Perfetto trace
     python -m repro.bench top fig1            # TMAM top-down report
+    python -m repro.bench store migrate       # promote legacy records
+    python -m repro.bench diff RUN_A RUN_B    # compare two stored runs
+    python -m repro.bench history p999_us     # one metric's trajectory
+    python -m repro.bench serve               # dashboard on :8642
     repro-bench table1
 
-``chaos``, ``validate``, ``perf``, ``load``, ``trace`` and ``top`` are
-proper subcommands with their own options; mixing them with figure ids
-is rejected with a clear message instead of falling through to the
-figure registry.  Out-of-range option values (a negative ``--remote-pct``,
-``--shards 0``, ...) are rejected with exit code 2 before any work runs.
+``chaos``, ``validate``, ``perf``, ``load``, ``trace``, ``top``,
+``serve``, ``diff``, ``history`` and ``store`` are proper subcommands
+with their own options; mixing them with figure ids is rejected with a
+clear message instead of falling through to the figure registry.
+Out-of-range option values (a negative ``--remote-pct``, ``--shards 0``,
+...) are rejected with exit code 2 before any work runs.
 """
 
 from __future__ import annotations
@@ -29,7 +34,10 @@ from repro.bench.figures import ALL_IDS, run_figure
 from repro.bench.report import render_figure
 from repro.util.clock import wall_timer
 
-SUBCOMMANDS = ("chaos", "validate", "perf", "load", "trace", "top")
+SUBCOMMANDS = (
+    "chaos", "validate", "perf", "load", "trace", "top",
+    "serve", "diff", "history", "store",
+)
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -62,6 +70,21 @@ def _add_sanitize_argument(parser: argparse.ArgumentParser) -> None:
             "bit-identical, violations go to stderr and fail the run"
         ),
     )
+
+
+def _add_store_dir_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        help="run-store root (default: benchmarks/store)",
+    )
+
+
+def _open_store(store_dir: Path | None):
+    from repro.store import DEFAULT_STORE_DIR, RunStore
+
+    return RunStore(store_dir or DEFAULT_STORE_DIR)
 
 
 def _report_sanitizer(label: str) -> int:
@@ -115,6 +138,15 @@ def _chaos_main(argv: list[str]) -> int:
     )
     _add_jobs_argument(parser)
     _add_sanitize_argument(parser)
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help=(
+            "persist the suite verdicts as a chaos run in the store "
+            "(opt-in: the report on stdout stays byte-identical)"
+        ),
+    )
+    _add_store_dir_argument(parser)
     args = parser.parse_args(argv)
     # Validate before any work: a nonsensical value must die with exit
     # code 2 and a usage line, not crash three suites in or silently run
@@ -146,6 +178,7 @@ def _chaos_main(argv: list[str]) -> int:
 
     # The sanitizer only watches (TrackedRandom draws bit-identically),
     # so the report on stdout matches the unsanitized run byte-for-byte.
+    cells: list | None = [] if args.record else None
     with sanitizer.sanitizing(True) if args.sanitize else nullcontext():
         if args.shards is not None:
             from repro.sharding import run_sharded_chaos_suite
@@ -161,6 +194,7 @@ def _chaos_main(argv: list[str]) -> int:
                 n_txns=args.txns,
                 n_crashes=args.crashes,
                 jobs=_resolve_jobs(args.jobs),
+                collect=cells,
             )
         else:
             from repro.faults.chaos import run_chaos_suite
@@ -175,10 +209,35 @@ def _chaos_main(argv: list[str]) -> int:
                 replicas=args.replicas,
                 ack=args.ack,
                 jobs=_resolve_jobs(args.jobs),
+                collect=cells,
             )
         print(text)
         if args.sanitize and _report_sanitizer("chaos"):
             ok = False
+    if cells is not None:
+        from repro.bench.perf import provenance
+        from repro.store import chaos_run
+        from repro.util.clock import timestamp
+
+        spec = {
+            "quick": args.quick,
+            "systems": sorted(args.systems) if args.systems else None,
+            "workloads": sorted(args.workloads) if args.workloads else None,
+            "seed": args.seed,
+            "seeds": args.seeds,
+            "txns": args.txns,
+            "crashes": args.crashes,
+            "replicas": args.replicas,
+            "ack": args.ack,
+            "shards": args.shards,
+            "remote_pct": args.remote_pct,
+        }
+        run_id = _open_store(args.store_dir).put(
+            chaos_run(
+                spec, cells, ok, created=timestamp(), provenance=provenance()
+            )
+        )
+        print(f"store: {run_id}", file=sys.stderr)
     return 0 if ok else 1
 
 
@@ -224,6 +283,7 @@ def _perf_main(argv: list[str]) -> int:
     parser.add_argument(
         "--no-save", action="store_true", help="measure and report without recording"
     )
+    _add_store_dir_argument(parser)
     args = parser.parse_args(argv)
 
     from repro.bench.perf import DEFAULT_RECORDS_DIR, run_perf
@@ -234,6 +294,7 @@ def _perf_main(argv: list[str]) -> int:
         records_dir=args.records_dir or DEFAULT_RECORDS_DIR,
         check=args.check,
         save=not args.no_save,
+        store_dir=args.store_dir,
     )
     print(text)
     return 0 if ok else 1
@@ -321,6 +382,16 @@ def _load_main(argv: list[str]) -> int:
     parser.add_argument(
         "--no-save", action="store_true", help="report without recording"
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero on a >30%% p999 regression vs the most recent "
+            "committed baseline with an identical spec (the latency-SLO "
+            "CI gate; passes when no comparable baseline exists)"
+        ),
+    )
+    _add_store_dir_argument(parser)
     args = parser.parse_args(argv)
     # Same validation rigor as chaos: die with exit 2 before any work.
     if args.clients < 1:
@@ -359,6 +430,7 @@ def _load_main(argv: list[str]) -> int:
         DEFAULT_RECORDS_DIR,
         append_load_record,
         load_record,
+        read_load_records,
         render_load_report,
     )
 
@@ -398,11 +470,31 @@ def _load_main(argv: list[str]) -> int:
         status = 0
         if args.sanitize and _report_sanitizer("load"):
             status = 1
-    if not args.no_save:
-        path = append_load_record(
-            load_record(result), args.records_dir or DEFAULT_RECORDS_DIR
+    record = load_record(result)
+    records_dir = args.records_dir or DEFAULT_RECORDS_DIR
+    # The store rides beside the records dir unless placed explicitly,
+    # so redirecting --records-dir (tests, CI sandboxes) never writes
+    # into the repo's benchmarks/store/.
+    store_dir = args.store_dir or Path(records_dir).parent / "store"
+    if args.check:
+        from repro.store import LOAD, check_load_regression, load_run
+
+        store = _open_store(store_dir)
+        candidates = [load_run(r) for r in read_load_records(records_dir)]
+        candidates.extend(
+            store.get(meta["run_id"]) for meta in store.list_runs(LOAD)
         )
+        check_text, check_ok = check_load_regression(load_run(record), candidates)
+        print(check_text)
+        if not check_ok:
+            status = 1
+    if not args.no_save:
+        from repro.store import load_run
+
+        path = append_load_record(record, records_dir)
         print(f"recorded: {path}")
+        run_id = _open_store(store_dir).put(load_run(record))
+        print(f"store: {run_id}")
     return status
 
 
@@ -534,6 +626,140 @@ def _top_main(argv: list[str]) -> int:
     return status
 
 
+def _serve_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench serve",
+        description=(
+            "Serve the run-store dashboard + JSON API (stdlib http.server): "
+            "/runs, /runs/<id>, /diff/<a>/<b>, /history/<metric>."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8642, help="port (default 8642)")
+    parser.add_argument(
+        "--no-migrate",
+        action="store_true",
+        help="skip the idempotent legacy-record migration on startup",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log requests to stderr"
+    )
+    _add_store_dir_argument(parser)
+    args = parser.parse_args(argv)
+    if not 0 <= args.port <= 65535:
+        parser.error(f"--port must be in [0, 65535] (got {args.port})")
+
+    from repro.store import migrate_records
+    from repro.store.migrate import render_migration
+    from repro.store.server import serve
+
+    store = _open_store(args.store_dir)
+    if not args.no_migrate:
+        migrated, skipped = migrate_records(store=store)
+        if migrated or skipped:
+            print(render_migration(migrated, skipped), file=sys.stderr)
+    print(
+        f"serving {store.root} on http://{args.host}:{args.port}/ (Ctrl-C stops)",
+        file=sys.stderr,
+    )
+    serve(store, args.host, args.port, verbose=args.verbose)
+    return 0
+
+
+def _diff_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench diff",
+        description=(
+            "Compare two stored runs of the same kind: perf deltas, "
+            "latency-percentile regressions, figure drift and chaos-verdict "
+            "changes, each against its explicit threshold.  Exit 1 when any "
+            "threshold trips."
+        ),
+    )
+    parser.add_argument("run_a", help="baseline run id (repro-bench store list)")
+    parser.add_argument("run_b", help="candidate run id")
+    _add_store_dir_argument(parser)
+    args = parser.parse_args(argv)
+
+    from repro.store import diff_runs, render_diff
+
+    store = _open_store(args.store_dir)
+    try:
+        diff = diff_runs(store.get(args.run_a), store.get(args.run_b))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_diff(diff))
+    return 0 if diff.ok else 1
+
+
+def _history_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench history",
+        description=(
+            "One metric's trajectory across every stored run: named metrics "
+            "(events_per_sec, txns_per_sec, capacity_tps, p50_us, p99_us, "
+            "p999_us, chaos_ok) or a dotted payload path."
+        ),
+    )
+    parser.add_argument("metric", help="named metric or dotted payload path")
+    parser.add_argument(
+        "--kind", default=None, choices=("bench", "load", "chaos", "figure"),
+        help="only consider runs of this kind",
+    )
+    _add_store_dir_argument(parser)
+    args = parser.parse_args(argv)
+
+    from repro.store import metric_history, render_history
+
+    history = metric_history(_open_store(args.store_dir), args.metric, kind=args.kind)
+    print(render_history(args.metric, history))
+    return 0
+
+
+def _store_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench store",
+        description="Run-store maintenance: migrate legacy records, list runs.",
+    )
+    parser.add_argument(
+        "action", choices=("migrate", "list"),
+        help="migrate: promote benchmarks/records/*.json (idempotent); "
+        "list: every stored run, oldest first",
+    )
+    parser.add_argument(
+        "--records-dir", type=Path, default=None,
+        help="legacy records to migrate (default: benchmarks/records)",
+    )
+    _add_store_dir_argument(parser)
+    args = parser.parse_args(argv)
+
+    store = _open_store(args.store_dir)
+    if args.action == "migrate":
+        from repro.store import migrate_records
+        from repro.store.migrate import DEFAULT_RECORDS_DIR, render_migration
+
+        migrated, skipped = migrate_records(
+            args.records_dir or DEFAULT_RECORDS_DIR, store=store
+        )
+        print(render_migration(migrated, skipped))
+        return 0
+    for meta in store.list_runs():
+        summary = meta.get("summary") or {}
+        parts = "  ".join(
+            f"{key}={value}" for key, value in summary.items()
+            if value not in (None, [], "")
+        )
+        print(
+            f"{meta.get('run_id', '?'):<24} {meta.get('kind', '?'):<7} "
+            f"{meta.get('fingerprint', '')[:8]:<9} {parts}"
+        )
+    return 0
+
+
 def _figures_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -563,6 +789,15 @@ def _figures_main(argv: list[str]) -> int:
         ),
     )
     _add_sanitize_argument(parser)
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help=(
+            "persist the regenerated panels as a figure run in the store "
+            "(opt-in: stdout stays byte-identical)"
+        ),
+    )
+    _add_store_dir_argument(parser)
     args = parser.parse_args(argv)
 
     mixed = sorted(set(args.figures) & set(SUBCOMMANDS))
@@ -582,6 +817,7 @@ def _figures_main(argv: list[str]) -> int:
     jobs = _resolve_jobs(args.jobs)
     ids = ALL_IDS if "all" in args.figures else args.figures
     status = 0
+    recorded_panels: list = []
     # Like --obs, --sanitize must not change stdout: TrackedRandom draws
     # bit-identically and the verdict goes to stderr.
     with sanitizer.sanitizing(True) if args.sanitize else nullcontext():
@@ -596,6 +832,8 @@ def _figures_main(argv: list[str]) -> int:
                 print(exc.args[0], file=sys.stderr)
                 status = 2
                 continue
+            if isinstance(output, list):
+                recorded_panels.extend(output)
             if isinstance(output, str):
                 print(output)
             else:
@@ -614,6 +852,20 @@ def _figures_main(argv: list[str]) -> int:
             print()
         if args.sanitize and _report_sanitizer("figures") and status == 0:
             status = 1
+    if args.record and recorded_panels:
+        from repro.bench.perf import provenance
+        from repro.store import figure_run
+        from repro.util.clock import timestamp
+
+        run_id = _open_store(args.store_dir).put(
+            figure_run(
+                recorded_panels,
+                quick=args.quick,
+                created=timestamp(),
+                provenance=provenance(),
+            )
+        )
+        print(f"store: {run_id}", file=sys.stderr)
     return status
 
 
@@ -630,6 +882,10 @@ def main(argv: list[str] | None = None) -> int:
             "load": _load_main,
             "trace": _trace_main,
             "top": _top_main,
+            "serve": _serve_main,
+            "diff": _diff_main,
+            "history": _history_main,
+            "store": _store_main,
         }
         return dispatch[first_positional](rest)
     return _figures_main(argv)

@@ -223,12 +223,15 @@ def run_perf(
     records_dir: Path = DEFAULT_RECORDS_DIR,
     check: bool = False,
     save: bool = True,
+    store_dir: Path | None = None,
 ) -> tuple[str, bool]:
     """Run the perf suite; returns (report text, ok).
 
     *ok* is False only when *check* is set and the fresh events/sec
     regressed more than :data:`REGRESSION_TOLERANCE` below the best
-    previously committed record.
+    previously committed record.  When *save* is set the record lands
+    both in the legacy BENCH_<date>.json blob (old readers keep
+    working) and as a ``bench`` run in :mod:`repro.store`.
     """
     baseline = baseline_events_per_sec(load_records(records_dir))
     record = collect_record(quick=quick, jobs=jobs)
@@ -236,6 +239,14 @@ def run_perf(
     if save:
         path = append_record(record, records_dir)
         lines.append(f"  recorded   : {path}")
+        from repro.store import RunStore, bench_run
+
+        # The store sits beside the records dir, so a caller that
+        # redirects records (tests, CI sandboxes) never writes into the
+        # repo's benchmarks/store/.
+        store = RunStore(store_dir or Path(records_dir).parent / "store")
+        run_id = store.put(bench_run(record))
+        lines.append(f"  store      : {run_id}")
     ok = True
     if check and baseline is not None:
         floor = baseline * (1.0 - REGRESSION_TOLERANCE)

@@ -559,6 +559,7 @@ def run_chaos_suite(
     replicas: int = 0,
     ack: str = "async",
     jobs: int = 1,
+    collect: list | None = None,
 ) -> tuple[str, bool]:
     """Run the chaos matrix; returns (report text, all passed).
 
@@ -566,6 +567,12 @@ def run_chaos_suite(
     over a process pool; results are collected in submission order, so
     the report is bit-identical to the serial run.  When any run fails,
     the verdict line names the violated invariants.
+
+    When *collect* is a list, one dict per suite cell (``system``,
+    ``workload``, ``seed``, ``ok``, ``failed_invariants``, ``report``)
+    is appended to it in submission order — the hook
+    ``repro.store`` uses to persist a chaos run without changing this
+    function's return shape.
     """
     names = [canonical_name(s) for s in systems] if systems else list(ALL_SYSTEMS)
     factories = default_workload_factories()
@@ -600,6 +607,18 @@ def run_chaos_suite(
     # Suite cells fold in submission order; the sanitizer flags any
     # unordered collection sneaking into this merge point.
     outcomes = sanitizer.checked_merge(outcomes, "run_chaos_suite")
+    if collect is not None:
+        for (spec, workload_name), (text, ok, failed) in zip(tasks, outcomes):
+            collect.append(
+                {
+                    "system": spec.system,
+                    "workload": workload_name,
+                    "seed": spec.seed,
+                    "ok": ok,
+                    "failed_invariants": list(failed),
+                    "report": text,
+                }
+            )
     lines = [text for text, _, _ in outcomes]
     all_ok = all(ok for _, ok, _ in outcomes)
     if all_ok:

@@ -155,12 +155,27 @@ class LoadPointResult:
     makespan_ns: int  # last completion (== horizon when keeping up)
     queueing_ns: tuple[int, ...]
     service_ns: tuple[int, ...]
+    # Per-event operation labels, parallel to queueing_ns/service_ns:
+    # read/update/insert for scenario mixes, NewOrder/Payment/... for the
+    # sharded backend's TPC-C mix.  Deterministic, so part of equality.
+    ops: tuple[str, ...] = ()
     rng_draws: dict = field(default_factory=dict, compare=False)
     obs_metrics: dict = field(default_factory=dict, compare=False)
 
     @property
     def latencies_ns(self) -> tuple[int, ...]:
         return tuple(q + s for q, s in zip(self.queueing_ns, self.service_ns))
+
+    def latencies_by_op(self) -> dict[str, tuple[int, ...]]:
+        """Latency samples split by operation label, in timeline order.
+
+        Keys are sorted so iteration order is pinned; an empty dict
+        means the point predates per-op tracking (old records).
+        """
+        by_op: dict[str, list[int]] = {}
+        for op, latency in zip(self.ops, self.latencies_ns):
+            by_op.setdefault(op, []).append(latency)
+        return {op: tuple(by_op[op]) for op in sorted(by_op)}
 
     def mean_queueing_ns(self) -> float:
         return sum(self.queueing_ns) / len(self.queueing_ns) if self.queueing_ns else 0.0
@@ -234,6 +249,10 @@ class _PlainBackend:
         committed = self.engine.last_outcome == COMMITTED
         delta = self.machine.run_trace(trace, transactions=1 if committed else 0)
         return int(delta.cycles * self.ns_per_cycle), committed
+
+    def op_label(self, event: LoadEvent) -> str:
+        """What the per-operation latency breakdown calls this request."""
+        return event.op
 
 
 class _ReplicatedBackend(_PlainBackend):
@@ -327,6 +346,12 @@ class _ShardedBackend:
         # service time is never zero (the request did round-trip a node).
         return max(ticks, 1) * TICK_NS, outcome == COMMITTED
 
+    def op_label(self, event: LoadEvent) -> str:
+        # The cluster drives its own TPC-C distributed mix: the label is
+        # the procedure it just ran (NewOrder/Payment), not the timeline
+        # event's scenario op, which the sharded backend ignores.
+        return self.cluster.last_procedure or event.op
+
 
 def _make_backend(spec: LoadSpec, tag: str):
     if spec.shards > 0:
@@ -341,16 +366,19 @@ def _make_backend(spec: LoadSpec, tag: str):
 
 def _replay_timeline(
     spec: LoadSpec, events: list[LoadEvent], backend
-) -> tuple[list[int], list[int], int, int, int]:
+) -> tuple[list[int], list[int], list[str], int, int, int]:
     """Run the timeline through the queue; returns per-event delays.
 
     ``servers`` virtual slots drain the queue; each request starts at
     ``max(arrival, earliest free slot)`` — an M/G/c queue whose service
-    process is the simulated system itself.
+    process is the simulated system itself.  Each event also records
+    its operation label (``backend.op_label``) so reports can split the
+    percentiles by transaction type.
     """
     server_free = [0] * spec.servers
     queueing: list[int] = []
     service: list[int] = []
+    ops: list[str] = []
     committed = 0
     aborted = 0
     makespan = 0
@@ -371,11 +399,12 @@ def _replay_timeline(
         makespan = max(makespan, server_free[slot])
         queueing.append(start - event.t_ns)
         service.append(service_ns)
+        ops.append(backend.op_label(event))
         if ok:
             committed += 1
         else:
             aborted += 1
-    return queueing, service, committed, aborted, makespan
+    return queueing, service, ops, committed, aborted, makespan
 
 
 def probe_capacity(spec: LoadSpec) -> float:
@@ -418,7 +447,7 @@ def run_load_point(spec: LoadSpec, multiplier: float, rate: float) -> LoadPointR
     tag = f"x{multiplier:g}"
     events = build_timeline(arrival, spec.the_mix(), spec.n_rows, spec.seed, tag=tag)
     backend = _make_backend(spec, tag)
-    queueing, service, committed, aborted, makespan = _replay_timeline(
+    queueing, service, ops, committed, aborted, makespan = _replay_timeline(
         spec, events, backend
     )
     horizon_ns = int(arrival.horizon_s() * NS_PER_S)
@@ -443,6 +472,7 @@ def run_load_point(spec: LoadSpec, multiplier: float, rate: float) -> LoadPointR
         makespan_ns=makespan,
         queueing_ns=tuple(queueing),
         service_ns=tuple(service),
+        ops=tuple(ops),
         rng_draws=sanitizer.drain_draws() if sanitizer.enabled() else {},
         obs_metrics=obs.drain_metrics(),
     )

@@ -33,6 +33,23 @@ from repro.obs import nearest_rank
 DEFAULT_RECORDS_DIR = Path("benchmarks") / "records"
 
 
+def per_op_rows(point: LoadPointResult) -> dict[str, dict]:
+    """Per-operation latency percentiles for one sweep point.
+
+    Keys are operation labels in sorted order (read/update/insert for
+    scenario mixes, new_order/payment/... for the sharded TPC-C mix); each
+    value carries the sample count and nearest-rank p50/p99/p999 in
+    microseconds.  Empty when the point predates per-op tracking.
+    """
+    rows: dict[str, dict] = {}
+    for op, latencies in point.latencies_by_op().items():
+        row = {"count": len(latencies)}
+        for q in PERCENTILES:
+            row[f"{percentile_label(q)}_us"] = nearest_rank(latencies, q) / 1000
+        rows[op] = row
+    return rows
+
+
 def saturation_rows(result: LoadResult) -> list[dict]:
     """The throughput-vs-offered-load curve as plain dicts (ns -> us)."""
     rows = []
@@ -52,6 +69,7 @@ def saturation_rows(result: LoadResult) -> list[dict]:
             row[f"{percentile_label(q)}_us"] = (
                 nearest_rank(latencies, q) / 1000 if latencies else None
             )
+        row["by_op"] = per_op_rows(point)
         rows.append(row)
     return rows
 
@@ -68,6 +86,14 @@ def _render_point(point: LoadPointResult) -> str:
         f"  queueing  mean {point.mean_queueing_ns() / 1000:,.1f}us   "
         f"service mean {point.mean_service_ns() / 1000:,.1f}us",
     ]
+    by_op = point.latencies_by_op()
+    if len(by_op) > 1:
+        op_width = max(len(op) for op in by_op)
+        for op, samples in by_op.items():
+            lines.append(
+                f"    {op:<{op_width}}  "
+                f"{render_latency_percentiles(samples)}  (n={len(samples)})"
+            )
     return "\n".join(lines)
 
 
@@ -175,6 +201,28 @@ def append_load_record(record: dict, records_dir: Path = DEFAULT_RECORDS_DIR) ->
     return path
 
 
+def read_load_records(records_dir: Path = DEFAULT_RECORDS_DIR) -> list[dict]:
+    """Every committed LOAD record, oldest file first (append order kept).
+
+    The legacy reader the ``load --check`` baseline lookup and the store
+    migration share — old ``LOAD_<date>.json`` blobs keep working even
+    though new history also lands in ``repro.store``.
+    """
+    records: list[dict] = []
+    if not records_dir.is_dir():
+        return records
+    for path in sorted(records_dir.glob("LOAD_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(data, list):
+            records.extend(r for r in data if isinstance(r, dict))
+        elif isinstance(data, dict):
+            records.append(data)
+    return records
+
+
 def horizon_seconds(result: LoadResult) -> float:
     """Virtual seconds one sweep point spans (for context in docs/tests)."""
     return result.spec.arrival.n_events / result.base_rate if result.base_rate else 0.0
@@ -184,6 +232,8 @@ __all__ = [
     "DEFAULT_RECORDS_DIR",
     "append_load_record",
     "load_record",
+    "per_op_rows",
+    "read_load_records",
     "render_load_report",
     "render_saturation_curve",
     "saturation_rows",

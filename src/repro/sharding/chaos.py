@@ -339,12 +339,16 @@ def run_sharded_chaos_suite(
     n_txns: int | None = None,
     n_crashes: int | None = None,
     jobs: int = 1,
+    collect: list | None = None,
 ) -> tuple[str, bool]:
     """Run the sharded chaos sweep over *seeds*; returns (report, ok).
 
     Each seed is an independent cell (its own cluster, schedule and
     workload stream); with ``jobs > 1`` cells fan out over a process
-    pool and are collected in submission order.
+    pool and are collected in submission order.  When *collect* is a
+    list, one dict per cell is appended (same shape as
+    :func:`repro.faults.chaos.run_chaos_suite`'s hook) so the run can
+    be persisted to :mod:`repro.store`.
     """
     overrides: dict = {}
     if n_txns is not None:
@@ -366,6 +370,18 @@ def run_sharded_chaos_suite(
     else:
         outcomes = [_run_sharded_task(task) for task in tasks]
     outcomes = sanitizer.checked_merge(outcomes, "run_sharded_chaos_suite")
+    if collect is not None:
+        for spec, (text, ok, failed) in zip(tasks, outcomes):
+            collect.append(
+                {
+                    "system": spec.system,
+                    "workload": "tpcc",
+                    "seed": spec.seed,
+                    "ok": ok,
+                    "failed_invariants": list(failed),
+                    "report": text,
+                }
+            )
     lines = [text for text, _, _ in outcomes]
     all_ok = all(ok for _, ok, _ in outcomes)
     if all_ok:

@@ -236,6 +236,9 @@ class ShardedCluster:
         self.commit_ticks: list[int] = []
         self.crashes: list[tuple[str, int, int]] = []  # (point, hit, shard)
         self.problems: list[str] = []
+        # The procedure submit_next most recently ran (NewOrder/Payment)
+        # — the load driver labels per-operation latency samples with it.
+        self.last_procedure: str = ""
 
     # -- engine lifecycle ----------------------------------------------------
 
@@ -280,6 +283,7 @@ class ShardedCluster:
             procedure, home_w, parts = self.workload.next_distributed_transaction(
                 rng, remote_pct=self.spec.remote_pct
             )
+        self.last_procedure = procedure
         by_shard: dict[int, list] = {}
         for warehouse, body in parts.items():
             by_shard.setdefault(

@@ -1,0 +1,81 @@
+"""The deterministic content fingerprint of a run.
+
+A fingerprint answers one question: *did the simulated outcome change?*
+Two runs of the same spec at the same seed must fingerprint identically
+no matter when or where they ran — serial vs ``--jobs N``, sanitized
+vs plain, today vs next year, this laptop vs CI.  Everything that is a
+pure function of the seed (figure cells, load latencies, chaos digests)
+is covered; everything that is not — wall-clock timestamps, host
+provenance, self-measured wall rates — is excluded by key name before
+hashing.
+
+The hash itself is :func:`repro.util.stablehash.stable_hash` over a
+canonical nested-tuple form (dict keys sorted, volatile keys dropped),
+so the fingerprint is stable across processes and PYTHONHASHSEED — the
+same contract the simulator's placement hashing already relies on.
+"""
+
+from __future__ import annotations
+
+from repro.util.stablehash import stable_hash
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+VOLATILE_KEYS = frozenset(
+    {
+        # When the run happened.
+        "timestamp",
+        "date",
+        "created",
+        # Who/where it ran.
+        "provenance",
+        "git_sha",
+        "python",
+        "machine",
+        "platform",
+        "implementation",
+        "cpu_count",
+        # Store bookkeeping assigned after the fact.
+        "run_id",
+        "fingerprint",
+        # Self-measured wall-clock rates (the perf suite measuring
+        # itself): real time, not simulated time.
+        "wall_s",
+        "best_round_s",
+        "rounds",
+        "events_per_sec",
+        "txns_per_sec",
+        # Execution plan: --jobs N must not change the fingerprint.
+        "jobs",
+    }
+)
+"""Key names whose values never enter the fingerprint (recursively)."""
+
+
+def canonical(value):
+    """*value* as nested tuples: dict keys sorted, volatile keys dropped.
+
+    The canonical form is hashable and independent of dict insertion
+    order, JSON round-trips, and list-vs-tuple container choices, so it
+    is what both the fingerprint and drift comparisons should look at.
+    """
+    if isinstance(value, dict):
+        return tuple(
+            (key, canonical(value[key]))
+            for key in sorted(value)
+            if key not in VOLATILE_KEYS
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical(item) for item in value)
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        # A float that carries an integral value must fingerprint the
+        # same as the int it round-trips to through JSON readers.
+        return int(value) if value.is_integer() else value
+    return value
+
+
+def fingerprint(payload) -> str:
+    """16-hex-digit deterministic fingerprint of *payload*'s content."""
+    return f"{stable_hash(canonical(payload)) & _MASK:016x}"

@@ -1,0 +1,75 @@
+"""One-shot (and idempotent) migration of legacy record blobs.
+
+``benchmarks/records/BENCH_*.json`` and ``LOAD_*.json`` predate the
+store: JSON lists of per-run dicts with no per-run directory, no
+verdicts and no fingerprint.  ``repro-bench store migrate`` promotes
+every entry into the store layout.  Migration is idempotent — an entry
+whose (kind, origin timestamp, content fingerprint) is already present
+is skipped — so it can run on every ``serve`` start and legacy history
+always shows up in the dashboard.
+
+The legacy files stay where they are and the old readers
+(:func:`repro.bench.perf.load_records`, the ``perf --check`` baseline)
+keep working: the store is a second, richer view, not a breaking move.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.store.fsdb import RunStore
+from repro.store.schema import RunRecord, bench_run, load_run
+
+DEFAULT_RECORDS_DIR = Path("benchmarks") / "records"
+
+_CONVERTERS = {
+    "BENCH": bench_run,
+    "LOAD": load_run,
+}
+
+
+def _legacy_entries(records_dir: Path) -> list[tuple[str, dict]]:
+    """Every (prefix, record dict) across the legacy files, oldest file
+    first, preserving in-file append order."""
+    entries: list[tuple[str, dict]] = []
+    if not records_dir.is_dir():
+        return entries
+    for prefix in sorted(_CONVERTERS):
+        for path in sorted(records_dir.glob(f"{prefix}_*.json")):
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            records = data if isinstance(data, list) else [data]
+            entries.extend(
+                (prefix, record) for record in records if isinstance(record, dict)
+            )
+    return entries
+
+
+def migrate_records(
+    records_dir: Path = DEFAULT_RECORDS_DIR,
+    store: RunStore | None = None,
+) -> tuple[list[str], int]:
+    """Promote legacy records into *store*; returns (new run ids, skipped).
+
+    Skipped counts entries already present (same kind, origin timestamp
+    and fingerprint) — running twice migrates nothing the second time.
+    """
+    store = store or RunStore()
+    migrated: list[str] = []
+    skipped = 0
+    for prefix, legacy in _legacy_entries(records_dir):
+        record: RunRecord = _CONVERTERS[prefix](legacy)
+        if store.has_fingerprint(record.kind, record.created, record.fingerprint()):
+            skipped += 1
+            continue
+        migrated.append(store.put(record))
+    return migrated, skipped
+
+
+def render_migration(migrated: list[str], skipped: int) -> str:
+    lines = [f"migrated {len(migrated)} legacy record(s), {skipped} already present"]
+    lines.extend(f"  {run_id}" for run_id in migrated)
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""The stdlib-only HTTP API + dashboard: ``repro-bench serve``.
+
+Routes (all JSON unless noted):
+
+* ``GET /``                 — the single-page dashboard (HTML);
+* ``GET /runs``             — every run's ``meta.json``, oldest first;
+* ``GET /runs/<id>``        — one full run (spec, provenance, payload,
+  verdicts, metrics, fingerprint);
+* ``GET /diff/<a>/<b>``     — the comparison engine's verdict on two
+  runs (400 on mixed kinds, 404 on unknown ids);
+* ``GET /history/<metric>`` — the metric's trajectory across runs
+  (named metrics from :data:`repro.store.compare.METRICS` or a dotted
+  payload path).
+
+Built on :mod:`http.server` (``ThreadingHTTPServer``) — no third-party
+dependency, safe for CI smoke jobs, good enough for a laptop dashboard.
+The store is read per request, so a server left running picks up new
+runs without restarting.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import unquote, urlparse
+
+from repro.store.compare import diff_runs, metric_history
+from repro.store.dashboard import DASHBOARD_HTML
+from repro.store.fsdb import RunStore
+
+
+def _run_to_dict(record) -> dict:
+    return {
+        "run_id": record.run_id,
+        "kind": record.kind,
+        "created": record.created,
+        "fingerprint": record.fingerprint(),
+        "spec": record.spec,
+        "provenance": record.provenance,
+        "payload": record.payload,
+        "verdicts": record.verdicts,
+        "metrics": record.metrics,
+    }
+
+
+class StoreRequestHandler(BaseHTTPRequestHandler):
+    """Routes GETs against the store attached to the server."""
+
+    server_version = "repro-store/1"
+
+    # The handler is instantiated per request by http.server; the store
+    # rides on the server object (see make_server).
+    @property
+    def store(self) -> RunStore:
+        return self.server.store  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # -- responses -----------------------------------------------------------
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, payload, status: int = 200) -> None:
+        body = json.dumps(payload, indent=1).encode("utf-8")
+        self._send(status, body, "application/json; charset=utf-8")
+
+    def _error(self, status: int, message: str) -> None:
+        self._json({"error": message}, status=status)
+
+    # -- routing -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parts = [
+            unquote(part)
+            for part in urlparse(self.path).path.split("/")
+            if part
+        ]
+        try:
+            if not parts or parts == ["index.html"]:
+                self._send(
+                    200, DASHBOARD_HTML.encode("utf-8"),
+                    "text/html; charset=utf-8",
+                )
+            elif parts == ["runs"]:
+                self._json(self.store.list_runs())
+            elif len(parts) == 2 and parts[0] == "runs":
+                self._json(_run_to_dict(self.store.get(parts[1])))
+            elif len(parts) == 3 and parts[0] == "diff":
+                a = self.store.get(parts[1])
+                b = self.store.get(parts[2])
+                self._json(diff_runs(a, b).to_dict())
+            elif len(parts) == 2 and parts[0] == "history":
+                history = metric_history(self.store, parts[1])
+                self._json({"metric": parts[1], "history": history})
+            else:
+                self._error(404, f"no route for {self.path!r}")
+        except KeyError as exc:
+            self._error(404, str(exc.args[0]) if exc.args else "not found")
+        except ValueError as exc:
+            self._error(400, str(exc))
+
+
+def make_server(
+    store: RunStore, host: str = "127.0.0.1", port: int = 0,
+    *, verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to *host*:*port* (0 = ephemeral)."""
+    server = ThreadingHTTPServer((host, port), StoreRequestHandler)
+    server.store = store  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    store: RunStore, host: str = "127.0.0.1", port: int = 8642,
+    *, verbose: bool = False,
+) -> None:  # pragma: no cover - blocking loop; tests use make_server
+    """Serve until interrupted (the ``repro-bench serve`` loop)."""
+    server = make_server(store, host, port, verbose=verbose)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

@@ -29,6 +29,7 @@ from repro.load.driver import probe_capacity, run_load_point
 from repro.load.report import (
     append_load_record,
     load_record,
+    per_op_rows,
     render_load_report,
     saturation_rows,
 )
@@ -399,6 +400,55 @@ class TestLoadReport:
         assert isinstance(data, list) and len(data) == 1
         append_load_record(record, tmp_path)
         assert len(json.loads(path.read_text())) == 2
+
+    def test_per_op_breakdown_partitions_latencies(self):
+        point = run_load(quick_spec(multipliers=(1.0,))).points[0]
+        assert len(point.ops) == len(point.latencies_ns)
+        by_op = point.latencies_by_op()
+        assert set(by_op) <= {"read", "update", "insert"}
+        assert len(by_op) > 1  # read-write mix exercises two ops
+        assert sum(len(v) for v in by_op.values()) == point.n_events
+        # Partition, not a resample: the multiset of latencies is intact.
+        merged = sorted(lat for v in by_op.values() for lat in v)
+        assert merged == sorted(point.latencies_ns)
+
+    def test_per_op_rows_in_record(self):
+        result = run_load(quick_spec(multipliers=(1.0,)))
+        rows = saturation_rows(result)
+        by_op = rows[0]["by_op"]
+        assert set(by_op) == set(result.points[0].latencies_by_op())
+        for row in by_op.values():
+            assert row["count"] > 0
+            assert row["p50_us"] <= row["p99_us"] <= row["p999_us"]
+        assert per_op_rows(result.points[0]) == by_op
+
+    def test_per_op_lines_rendered(self):
+        result = run_load(quick_spec(multipliers=(1.0,)))
+        text = render_load_report(result)
+        for op in result.points[0].latencies_by_op():
+            assert f"    {op}" in text or f"    {op} " in text
+
+    def test_sharded_ops_use_procedure_names(self):
+        spec = quick_spec(
+            system="shore-mt",
+            shards=2,
+            remote_pct=30.0,
+            arrival=ArrivalSpec(n_clients=200, n_events=20),
+            multipliers=(1.0,),
+        )
+        point = run_load(spec).points[0]
+        # The sharded backend drives its own distributed TPC-C mix; ops
+        # carry the cluster's procedure names, not the timeline's labels.
+        assert set(point.latencies_by_op()) <= {
+            "new_order", "payment", "stock_level"
+        }
+
+    def test_per_op_split_is_deterministic(self):
+        spec = quick_spec(multipliers=(1.0,))
+        a = run_load(spec, jobs=1).points[0]
+        b = run_load(spec, jobs=2).points[0]
+        assert a.ops == b.ops
+        assert a.latencies_by_op() == b.latencies_by_op()
 
     def test_report_carries_no_wall_clock(self):
         # The stdout report must be byte-diffable across runs: anything

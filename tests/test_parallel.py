@@ -217,11 +217,15 @@ class TestCLISubcommands:
     def test_perf_quick_writes_record(self, tmp_path, capsys):
         from repro.bench.cli import main
 
-        assert main(["perf", "--quick", "--records-dir", str(tmp_path)]) == 0
+        records_dir = tmp_path / "records"
+        assert main(["perf", "--quick", "--records-dir", str(records_dir)]) == 0
         out = capsys.readouterr().out
         assert "events/sec" in out
-        records = list(tmp_path.glob("BENCH_*.json"))
+        records = list(records_dir.glob("BENCH_*.json"))
         assert len(records) == 1
+        # The store run rides beside the redirected records dir — never
+        # in the repo's benchmarks/store/.
+        assert list((tmp_path / "store").glob("bench-*/meta.json"))
 
     def test_jobs_flag_accepted_for_figures(self, capsys):
         from repro.bench.cli import main
