@@ -373,6 +373,39 @@ def _load_main(argv: list[str]) -> int:
         metavar="M", help="offered-load multipliers (default: 0.25 0.5 1 2 4)",
     )
     parser.add_argument("--seed", type=int, default=42, help="arrival-stream seed")
+    chaos_group = parser.add_argument_group(
+        "chaos under load",
+        "seeded fault windows merged into the sweep timeline, plus the "
+        "client-side resilience policy layer (repro.load.resilience)",
+    )
+    chaos_group.add_argument(
+        "--chaos", default=None, metavar="SUITE",
+        help="fault suite to fire during the sweep (crash, partition, "
+        "coordinator-crash, prepare-stall, brownout, slow-shard, mixed)",
+    )
+    chaos_group.add_argument(
+        "--chaos-windows", type=int, default=1, metavar="N",
+        help="fault windows per kind across each point's horizon",
+    )
+    chaos_group.add_argument(
+        "--timeout-ms", type=float, default=0.0, metavar="T",
+        help="per-request client timeout in virtual ms (0 = none)",
+    )
+    chaos_group.add_argument(
+        "--retry", type=int, default=0, metavar="N",
+        help="client retries per request (capped-exponential + seeded "
+        "jitter backoff; 0 = fail fast)",
+    )
+    chaos_group.add_argument(
+        "--shed", type=int, default=0, metavar="DEPTH",
+        help="admission control: reject arrivals when the queue is this "
+        "deep (0 = never shed)",
+    )
+    chaos_group.add_argument(
+        "--breaker", type=int, default=0, metavar="N",
+        help="circuit breaker: open after N consecutive failures "
+        "(0 = no breaker)",
+    )
     _add_jobs_argument(parser)
     _add_sanitize_argument(parser)
     parser.add_argument(
@@ -421,6 +454,16 @@ def _load_main(argv: list[str]) -> int:
         parser.error("--multipliers must all be > 0")
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0 (got {args.jobs})")
+    if args.chaos_windows < 1:
+        parser.error(f"--chaos-windows must be >= 1 (got {args.chaos_windows})")
+    if args.timeout_ms < 0:
+        parser.error(f"--timeout-ms must be >= 0 (got {args.timeout_ms:g})")
+    if args.retry < 0:
+        parser.error(f"--retry must be >= 0 (got {args.retry})")
+    if args.shed < 0:
+        parser.error(f"--shed must be >= 0 (got {args.shed})")
+    if args.breaker < 0:
+        parser.error(f"--breaker must be >= 0 (got {args.breaker})")
 
     from contextlib import nullcontext
 
@@ -457,6 +500,24 @@ def _load_main(argv: list[str]) -> int:
     )
     if args.multipliers is not None:
         spec_kwargs["multipliers"] = tuple(args.multipliers)
+    if args.chaos is not None:
+        from repro.load.resilience import chaos_suite
+
+        try:
+            spec_kwargs["chaos"] = chaos_suite(
+                args.chaos, windows_per_kind=args.chaos_windows
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+    if any((args.timeout_ms, args.retry, args.shed, args.breaker)):
+        from repro.load.resilience import ResilienceSpec
+
+        spec_kwargs["resilience"] = ResilienceSpec(
+            timeout_ms=args.timeout_ms,
+            max_retries=args.retry,
+            shed_depth=args.shed,
+            breaker_threshold=args.breaker,
+        )
     try:
         spec = LoadSpec(**spec_kwargs)
     except ValueError as exc:
@@ -477,17 +538,38 @@ def _load_main(argv: list[str]) -> int:
     # into the repo's benchmarks/store/.
     store_dir = args.store_dir or Path(records_dir).parent / "store"
     if args.check:
-        from repro.store import LOAD, check_load_regression, load_run
+        from repro.store import (
+            LOAD,
+            check_load_regression,
+            find_load_baseline,
+            load_run,
+        )
 
         store = _open_store(store_dir)
         candidates = [load_run(r) for r in read_load_records(records_dir)]
         candidates.extend(
             store.get(meta["run_id"]) for meta in store.list_runs(LOAD)
         )
-        check_text, check_ok = check_load_regression(load_run(record), candidates)
-        print(check_text)
-        if not check_ok:
-            status = 1
+        fresh = load_run(record)
+        if find_load_baseline(fresh.spec, candidates) is None:
+            # A gate that silently passes because nothing matched is a
+            # gate that never fires: make the missing baseline loud and
+            # distinguishable (exit 2) from a real regression (exit 1).
+            # This run is still recorded below, so it becomes the
+            # baseline the next invocation gates against.
+            print(
+                "load check: no matching baseline — no committed record "
+                "shares this spec (system/mix/backend/chaos/resilience/"
+                "seed); this run is recorded as the baseline unless "
+                "--no-save was given",
+                file=sys.stderr,
+            )
+            status = 2
+        else:
+            check_text, check_ok = check_load_regression(fresh, candidates)
+            print(check_text)
+            if not check_ok:
+                status = 1
     if not args.no_save:
         from repro.store import load_run
 

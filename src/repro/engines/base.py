@@ -27,6 +27,7 @@ from repro.core.trace import AccessTrace
 from repro.engines.common import EngineTable, PartitionedTable, TableSpec
 from repro.engines.config import EngineConfig
 from repro.storage.address_space import DataAddressSpace
+from repro.util.backoff import capped_backoff
 
 
 class AbortReason:
@@ -348,7 +349,7 @@ class Engine(ABC):
                         txn_span.set(outcome=RETRIES_EXHAUSTED, attempts=attempts)
                         obs.inc("engine.retries_exhausted", system=self.system)
                         return trace
-                    backoff = min(BACKOFF_BASE_CYCLES * 2 ** (attempts - 1), BACKOFF_CAP_CYCLES)
+                    backoff = capped_backoff(BACKOFF_BASE_CYCLES, BACKOFF_CAP_CYCLES, attempts)
                     stats.record_retry(procedure, backoff)
                     obs.annotate(
                         "backoff", track=track, cat="engine",

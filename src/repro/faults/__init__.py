@@ -12,7 +12,9 @@ Public surface:
   kinds and points consumed by :mod:`repro.replication`;
 * ``TPC_KINDS`` / ``TPC_COORDINATOR`` / ``TPC_PARTICIPANT`` /
   ``TPC_PREPARE`` — two-phase-commit fault kinds and points consumed by
-  :mod:`repro.sharding`.
+  :mod:`repro.sharding`;
+* ``LOAD_KINDS`` / ``LOAD_WINDOW`` — service-degradation fault kinds
+  and point consumed by :mod:`repro.load.resilience`.
 """
 
 from repro.faults.chaos import (
@@ -26,6 +28,7 @@ from repro.faults.chaos import (
 )
 from repro.faults.injector import (
     ABORT,
+    BROWNOUT,
     COORDINATOR_CRASH,
     CRASH,
     FaultInjector,
@@ -34,6 +37,9 @@ from repro.faults.injector import (
     INDEX_INSERT,
     INJECTION_POINTS,
     InjectedAbort,
+    LOAD_KINDS,
+    LOAD_POINTS,
+    LOAD_WINDOW,
     LOCK_ACQUIRE,
     NET_DELAY,
     NET_DELIVER,
@@ -46,6 +52,7 @@ from repro.faults.injector import (
     NETWORK_POINTS,
     PARTICIPANT_CRASH,
     PREPARE_STALL,
+    SLOW_SHARD,
     SimulatedCrash,
     TPC_COORDINATOR,
     TPC_KINDS,
@@ -61,6 +68,7 @@ from repro.faults.invariants import tpcc_invariants
 
 __all__ = [
     "ABORT",
+    "BROWNOUT",
     "COORDINATOR_CRASH",
     "CRASH",
     "ChaosResult",
@@ -73,6 +81,9 @@ __all__ = [
     "INDEX_INSERT",
     "INJECTION_POINTS",
     "InjectedAbort",
+    "LOAD_KINDS",
+    "LOAD_POINTS",
+    "LOAD_WINDOW",
     "LOCK_ACQUIRE",
     "NET_DELAY",
     "NET_DELIVER",
@@ -85,6 +96,7 @@ __all__ = [
     "NETWORK_POINTS",
     "PARTICIPANT_CRASH",
     "PREPARE_STALL",
+    "SLOW_SHARD",
     "SimulatedCrash",
     "TPC_COORDINATOR",
     "TPC_KINDS",

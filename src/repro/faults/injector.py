@@ -52,6 +52,11 @@ NET_DELIVER = "net.deliver"
 TPC_COORDINATOR = "2pc.coordinator"
 TPC_PARTICIPANT = "2pc.participant"
 TPC_PREPARE = "2pc.prepare"
+# Load-window point fired by repro.load.resilience once per fault window
+# of a chaos-under-load sweep; it carries the soft degradation kinds
+# (brownout, slow shard) that scale service times instead of killing a
+# process.
+LOAD_WINDOW = "load.window"
 
 # Process-level points: a crash/abort fault here kills or rolls back the
 # simulated process.  NETWORK_POINTS are kept separate — they belong to
@@ -67,7 +72,8 @@ INJECTION_POINTS = (
 
 NETWORK_POINTS = (NET_SEND, NET_DELIVER)
 TPC_POINTS = (TPC_COORDINATOR, TPC_PARTICIPANT, TPC_PREPARE)
-ALL_POINTS = INJECTION_POINTS + NETWORK_POINTS + TPC_POINTS
+LOAD_POINTS = (LOAD_WINDOW,)
+ALL_POINTS = INJECTION_POINTS + NETWORK_POINTS + TPC_POINTS + LOAD_POINTS
 
 CRASH = "crash"
 ABORT = "abort"
@@ -92,10 +98,20 @@ PARTICIPANT_CRASH = "participant_crash"
 PREPARE_STALL = "prepare_stall"
 
 TPC_KINDS = (COORDINATOR_CRASH, PARTICIPANT_CRASH, PREPARE_STALL)
+
+# Load-degradation kinds (valid only at LOAD_WINDOW).  Soft like the
+# network kinds — never raised; the load driver's resilient replay
+# multiplies service times while the window is active: BROWNOUT slows
+# every server slot, SLOW_SHARD only a subset.  Own per-kind streams so
+# scheduling them cannot shift crash/abort/network/2PC schedules.
+BROWNOUT = "brownout"
+SLOW_SHARD = "slow_shard"
+
+LOAD_KINDS = (BROWNOUT, SLOW_SHARD)
 # Kinds that fire() raises as a process death.
 _CRASH_KINDS = (CRASH, COORDINATOR_CRASH, PARTICIPANT_CRASH)
 # Kinds evaluated by soft_fault()/network_fault(), never raised.
-_SOFT_KINDS = NETWORK_KINDS + (PREPARE_STALL,)
+_SOFT_KINDS = NETWORK_KINDS + (PREPARE_STALL,) + LOAD_KINDS
 # Which 2PC point each 2PC kind is allowed at.
 _TPC_KIND_POINTS = {
     COORDINATOR_CRASH: (TPC_COORDINATOR,),
@@ -150,10 +166,11 @@ class FaultSpec:
                 f"unknown injection point {self.point!r}; "
                 f"known: {', '.join(ALL_POINTS)}"
             )
-        if self.kind not in (CRASH, ABORT) + NETWORK_KINDS + TPC_KINDS:
+        if self.kind not in (CRASH, ABORT) + NETWORK_KINDS + TPC_KINDS + LOAD_KINDS:
             raise ValueError(
                 f"fault kind must be 'crash', 'abort' or one of "
-                f"{', '.join(NETWORK_KINDS + TPC_KINDS)}, got {self.kind!r}"
+                f"{', '.join(NETWORK_KINDS + TPC_KINDS + LOAD_KINDS)}, "
+                f"got {self.kind!r}"
             )
         if self.kind in NETWORK_KINDS and self.point not in NETWORK_POINTS:
             raise ValueError(
@@ -175,6 +192,17 @@ class FaultSpec:
             raise ValueError(
                 f"{self.point!r} takes 2PC fault kinds "
                 f"({', '.join(TPC_KINDS)}), not {self.kind!r}"
+            )
+        if self.kind in LOAD_KINDS and self.point not in LOAD_POINTS:
+            raise ValueError(
+                f"load fault {self.kind!r} is only valid at "
+                f"{', '.join(LOAD_POINTS)}, not {self.point!r}"
+            )
+        if self.kind not in LOAD_KINDS and self.point in LOAD_POINTS:
+            raise ValueError(
+                f"{self.point!r} takes load fault kinds "
+                f"({', '.join(LOAD_KINDS)}), not {self.kind!r}: window "
+                f"degradation scales service time, it has no process to kill"
             )
         if self.kind == ABORT and self.point not in _ABORTABLE_POINTS:
             raise ValueError(

@@ -40,7 +40,17 @@ from repro.core.spec import IVY_BRIDGE
 from repro.engines.base import COMMITTED
 from repro.engines.config import EngineConfig
 from repro.engines.registry import make_engine
-from repro.faults.injector import ABORT, FaultInjector, FaultSpec, TXN_BODY
+from repro.faults.injector import (
+    ABORT,
+    COORDINATOR_CRASH,
+    CRASH,
+    FaultInjector,
+    FaultSpec,
+    PREPARE_STALL,
+    TPC_COORDINATOR,
+    TPC_PREPARE,
+    TXN_BODY,
+)
 from repro.lint import sanitizer
 from repro.load.arrivals import (
     NS_PER_S,
@@ -48,10 +58,27 @@ from repro.load.arrivals import (
     LoadEvent,
     build_timeline,
 )
+from repro.load.resilience import (
+    ChaosLoadSpec,
+    ChaosPointStats,
+    ResilienceSpec,
+    replay_resilient,
+)
 from repro.load.scenarios import INSERT, MIXES, READ, UPDATE, Mix
-from repro.replication.group import ACK_MODES, ReplicationGroup, ReplicationSpec
+from repro.replication.group import (
+    ACK_MODES,
+    PRIMARY_NODE,
+    ReplicationGroup,
+    ReplicationSpec,
+)
 from repro.sharding.cluster import ShardSpec, ShardedCluster
 from repro.storage.record import LONG
+from repro.storage.recovery import (
+    replay as replay_log,
+    restore_engine,
+    verify_against_engine,
+    write_checkpoint,
+)
 from repro.util.rng import child_rng
 from repro.workloads.microbench import BYTES_PER_ROW, TABLE, MicroBenchmark
 
@@ -94,6 +121,12 @@ class LoadSpec:
     fault_rate: float = 0.0
     seed: int = 42
     multipliers: tuple[float, ...] = DEFAULT_MULTIPLIERS
+    # Chaos-under-load: seeded fault windows merged into the timeline,
+    # and the client-side resilience policy layer in front of the queue
+    # (see repro.load.resilience).  Either being set routes the point
+    # through the resilient replay loop.
+    chaos: ChaosLoadSpec | None = None
+    resilience: ResilienceSpec | None = None
 
     def __post_init__(self) -> None:
         if self.mix not in MIXES:
@@ -120,6 +153,8 @@ class LoadSpec:
             raise ValueError("need at least one sweep multiplier")
         if any(m <= 0 for m in self.multipliers):
             raise ValueError("sweep multipliers must be > 0")
+        if self.chaos is not None:
+            self.chaos.validate_backend(self.shards, self.replicas, self.servers)
 
     def backend_label(self) -> str:
         if self.shards > 0:
@@ -159,6 +194,10 @@ class LoadPointResult:
     # read/update/insert for scenario mixes, NewOrder/Payment/... for the
     # sharded backend's TPC-C mix.  Deterministic, so part of equality.
     ops: tuple[str, ...] = ()
+    # Chaos/resilience accounting (None on the classic path): fault
+    # windows, shed/retry/breaker counters, degraded-mode verdicts —
+    # deterministic, so part of equality.
+    chaos: ChaosPointStats | None = None
     rng_draws: dict = field(default_factory=dict, compare=False)
     obs_metrics: dict = field(default_factory=dict, compare=False)
 
@@ -202,24 +241,35 @@ class _PlainBackend:
     """One engine + cycle-accurate machine; service = replayed cycles."""
 
     def __init__(self, spec: LoadSpec, tag: str) -> None:
+        self.spec = spec
         self.workload = MicroBenchmark(db_bytes=spec.n_rows * BYTES_PER_ROW)
         self.n_rows = self.workload.n_rows
         self.engine = make_engine(
             spec.system, EngineConfig(materialize_threshold=0)
         )
         self.workload.setup(self.engine)
+        if spec.chaos is not None and CRASH in spec.chaos.kinds:
+            # A crash window replays the real ARIES restart; the log
+            # must retain its records for crash_image to tear.
+            log = self.engine.recovery_log()
+            if log is None:
+                raise ValueError(
+                    f"{spec.system} exposes no recovery log; crash chaos "
+                    f"needs a WAL to tear and replay"
+                )
+            log.retain_all = True
         self.machine = Machine(IVY_BRIDGE)
         self.ns_per_cycle = 1.0 / IVY_BRIDGE.clock_ghz
         from repro.bench.runner import prewarm_llc
 
         prewarm_llc(self.machine, self.engine)
+        self._injector: FaultInjector | None = None
         if spec.fault_rate > 0:
-            self.engine.attach_injector(
-                FaultInjector(
-                    [FaultSpec(TXN_BODY, ABORT, probability=spec.fault_rate, times=-1)],
-                    seed=spec.seed,
-                )
+            self._injector = FaultInjector(
+                [FaultSpec(TXN_BODY, ABORT, probability=spec.fault_rate, times=-1)],
+                seed=spec.seed,
             )
+            self.engine.attach_injector(self._injector)
 
     def _body(self, event: LoadEvent, key: int):
         op = event.op
@@ -254,6 +304,40 @@ class _PlainBackend:
         """What the per-operation latency breakdown calls this request."""
         return event.op
 
+    def crash_recover(self, chaos: ChaosLoadSpec, image_rng) -> tuple[int, list[str]]:
+        """A crash window fired: real ARIES restart, priced per record.
+
+        Tears the dead engine's log (``crash_image``), replays it,
+        restores a fresh engine, verifies the round-trip, and seeds the
+        new log with a checkpoint — the exact ChaosRunner restart path.
+        Returns ``(recovery_ns, problems)``; recovery is priced as
+        ``recovery_base_us + recovery_per_record_us x records replayed``.
+        """
+        image = self.engine.recovery_log().crash_image(image_rng)
+        state = replay_log(image)
+        fresh = make_engine(self.spec.system, EngineConfig(materialize_threshold=0))
+        self.workload.setup(fresh)
+        fresh_log = fresh.recovery_log()
+        fresh_log.retain_all = True
+        restore_engine(state, fresh)
+        problems = [
+            f"state-roundtrip: {p}" for p in verify_against_engine(state, fresh)
+        ]
+        state.active_records = []
+        write_checkpoint(fresh_log, state)
+        if self._injector is not None:
+            fresh.attach_injector(self._injector)
+        self.engine = fresh
+        from repro.bench.runner import prewarm_llc
+
+        prewarm_llc(self.machine, self.engine)
+        records = state.redo_applied + state.undo_applied + state.truncated_records
+        recovery_ns = int(
+            (chaos.recovery_base_us + chaos.recovery_per_record_us * records) * 1000
+        )
+        obs.inc("load.recovered_records", records, system=self.spec.system)
+        return recovery_ns, problems
+
 
 class _ReplicatedBackend(_PlainBackend):
     """Primary + replicas; service adds the ack round's fabric ticks."""
@@ -286,13 +370,40 @@ class _ReplicatedBackend(_PlainBackend):
         from repro.bench.runner import prewarm_llc
 
         prewarm_llc(self.machine, self.engine)
+        self._injector = None
         if spec.fault_rate > 0:
-            self.group.attach_injector(
-                FaultInjector(
-                    [FaultSpec(TXN_BODY, ABORT, probability=spec.fault_rate, times=-1)],
-                    seed=spec.seed,
-                )
+            self._injector = FaultInjector(
+                [FaultSpec(TXN_BODY, ABORT, probability=spec.fault_rate, times=-1)],
+                seed=spec.seed,
             )
+            self.group.attach_injector(self._injector)
+
+    def crash_recover(self, chaos: ChaosLoadSpec, image_rng) -> tuple[int, list[str]]:
+        """A crash window fired: real failover, priced in fabric ticks.
+
+        The group elects the highest-durable replica, replays it under a
+        bumped epoch, and installs a fresh primary; the ticks the
+        election + resync consumed land on the queue as recovery time.
+        """
+        ticks_before = self.group.net.clock
+        _state, report = self.group.failover()
+        problems = list(report.problems)
+        self.engine = self.group.engine
+        if self._injector is not None:
+            self.group.attach_injector(self._injector)
+        from repro.bench.runner import prewarm_llc
+
+        prewarm_llc(self.machine, self.engine)
+        failover_ticks = self.group.net.clock - ticks_before
+        recovery_ns = (
+            int(chaos.recovery_base_us * 1000) + max(failover_ticks, 1) * TICK_NS
+        )
+        obs.inc("load.failovers", system=self.spec.system)
+        return recovery_ns, problems
+
+    def start_partition(self, ticks: int) -> None:
+        """A partition window opened: cut the primary from its replicas."""
+        self.group.net.partition({PRIMARY_NODE}, ticks)
 
     def execute(self, event: LoadEvent, key: int) -> tuple[int, bool]:
         ticks_before = self.group.net.clock
@@ -318,6 +429,7 @@ class _ShardedBackend:
     """
 
     def __init__(self, spec: LoadSpec, tag: str) -> None:
+        self.spec = spec
         self.cluster = ShardedCluster(
             ShardSpec(
                 n_shards=spec.shards,
@@ -337,6 +449,49 @@ class _ShardedBackend:
             )
         self.rng = child_rng(spec.seed, f"load-cluster:{tag}")
         self.n_rows = spec.n_rows
+        self._window_injector: FaultInjector | None = None
+
+    def set_window_fault(self, kind: str | None, window_index: int) -> None:
+        """Swap the cluster's fault schedule for a chaos-load window.
+
+        ``coordinator_crash`` arms a one-shot crash at the next
+        cross-shard coordination step; ``prepare_stall`` stalls every
+        prepare vote while the window is open; ``None`` restores the
+        steady-state schedule.  Each window's injector is seeded
+        ``seed * 1000 + window + 1`` (the ChaosRunner segment idiom) so
+        schedules stay independent per window.
+        """
+        schedule = []
+        if self.spec.fault_rate > 0:
+            schedule.append(
+                FaultSpec(TXN_BODY, ABORT, probability=self.spec.fault_rate, times=-1)
+            )
+        if kind == COORDINATOR_CRASH:
+            schedule.append(
+                FaultSpec(TPC_COORDINATOR, COORDINATOR_CRASH, probability=1.0, times=1)
+            )
+        elif kind == PREPARE_STALL:
+            schedule.append(
+                FaultSpec(TPC_PREPARE, PREPARE_STALL, probability=1.0, times=-1)
+            )
+        injector = (
+            FaultInjector(schedule, seed=self.spec.seed * 1000 + window_index + 1)
+            if schedule
+            else None
+        )
+        self._window_injector = injector if kind is not None else None
+        self.cluster.attach_injector(injector)
+
+    def window_fault_fired(self) -> bool:
+        """Whether the armed window fault actually fired.
+
+        A coordinator-crash injector only triggers at a cross-shard
+        coordination step; local transactions pass through untouched,
+        so the replay loop keeps it armed until this reports True.
+        """
+        return self._window_injector is not None and bool(
+            self._window_injector.fired
+        )
 
     def execute(self, event: LoadEvent, key: int) -> tuple[int, bool]:
         ticks_before = self.cluster.net.clock
@@ -447,10 +602,18 @@ def run_load_point(spec: LoadSpec, multiplier: float, rate: float) -> LoadPointR
     tag = f"x{multiplier:g}"
     events = build_timeline(arrival, spec.the_mix(), spec.n_rows, spec.seed, tag=tag)
     backend = _make_backend(spec, tag)
-    queueing, service, ops, committed, aborted, makespan = _replay_timeline(
-        spec, events, backend
-    )
     horizon_ns = int(arrival.horizon_s() * NS_PER_S)
+    chaos_stats: ChaosPointStats | None = None
+    if spec.chaos is not None or spec.resilience is not None:
+        resilient = replay_resilient(spec, events, backend, tag, horizon_ns, TICK_NS)
+        queueing, service, ops = resilient.queueing, resilient.service, resilient.ops
+        committed, aborted = resilient.committed, resilient.aborted
+        makespan = resilient.makespan
+        chaos_stats = resilient.stats
+    else:
+        queueing, service, ops, committed, aborted, makespan = _replay_timeline(
+            spec, events, backend
+        )
     # Goodput over the virtual time it actually took: when the system
     # keeps up the makespan ~= horizon and achieved ~= offered; when
     # overloaded the makespan stretches and achieved pins at capacity.
@@ -473,6 +636,7 @@ def run_load_point(spec: LoadSpec, multiplier: float, rate: float) -> LoadPointR
         queueing_ns=tuple(queueing),
         service_ns=tuple(service),
         ops=tuple(ops),
+        chaos=chaos_stats,
         rng_draws=sanitizer.drain_draws() if sanitizer.enabled() else {},
         obs_metrics=obs.drain_metrics(),
     )

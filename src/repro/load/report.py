@@ -50,6 +50,47 @@ def per_op_rows(point: LoadPointResult) -> dict[str, dict]:
     return rows
 
 
+def chaos_row(point: LoadPointResult) -> dict | None:
+    """The chaos/resilience accounting of one point as a plain dict.
+
+    ``None`` for classic points, so non-chaos records and reports are
+    byte-identical to what they were before chaos-under-load existed.
+    """
+    c = point.chaos
+    if c is None:
+        return None
+    return {
+        "windows": [
+            {"kind": w.kind, "start_ns": w.start_ns, "end_ns": w.end_ns}
+            for w in c.windows
+        ],
+        "window_digest": c.window_digest,
+        "shed": c.shed,
+        "timeouts": c.timeouts,
+        "retries": c.retries,
+        "breaker_rejected": c.breaker_rejected,
+        "breaker_opens": c.breaker_opens,
+        "crashes": c.crashes,
+        "succeeded": c.succeeded,
+        "failed": c.failed,
+        "goodput_tps": c.goodput_tps,
+        "clean_p999_us": c.clean_p999_us,
+        "degraded_p999_us": c.degraded_p999_us,
+        "p999_blowup": c.p999_blowup,
+        "problems": list(c.problems),
+        "verdicts": [
+            {
+                "name": v.name,
+                "ok": v.ok,
+                "value": v.value,
+                "threshold": v.threshold,
+                "detail": v.detail,
+            }
+            for v in c.verdicts
+        ],
+    }
+
+
 def saturation_rows(result: LoadResult) -> list[dict]:
     """The throughput-vs-offered-load curve as plain dicts (ns -> us)."""
     rows = []
@@ -70,6 +111,9 @@ def saturation_rows(result: LoadResult) -> list[dict]:
                 nearest_rank(latencies, q) / 1000 if latencies else None
             )
         row["by_op"] = per_op_rows(point)
+        chaos = chaos_row(point)
+        if chaos is not None:
+            row["chaos"] = chaos
         rows.append(row)
     return rows
 
@@ -94,6 +138,40 @@ def _render_point(point: LoadPointResult) -> str:
                 f"    {op:<{op_width}}  "
                 f"{render_latency_percentiles(samples)}  (n={len(samples)})"
             )
+    c = point.chaos
+    if c is not None:
+        windows = ", ".join(
+            f"{w.kind}@[{w.start_ns / 1000:,.0f}us..{w.end_ns / 1000:,.0f}us]"
+            for w in c.windows
+        )
+        lines.append(
+            f"  chaos     {len(c.windows)} window"
+            f"{'s' if len(c.windows) != 1 else ''}"
+            + (f" ({windows})" if windows else "")
+            + f"  digest {c.window_digest}"
+        )
+        lines.append(
+            f"  resilience shed {c.shed}  timeouts {c.timeouts}  "
+            f"retries {c.retries}  breaker open {c.breaker_opens} "
+            f"(rejected {c.breaker_rejected})  crashes {c.crashes}"
+        )
+        clean = f"{c.clean_p999_us:,.1f}us" if c.clean_p999_us is not None else "-"
+        deg = (
+            f"{c.degraded_p999_us:,.1f}us" if c.degraded_p999_us is not None else "-"
+        )
+        lines.append(
+            f"  goodput   {c.goodput_tps:,.0f} tps "
+            f"({c.succeeded} ok, {c.failed} failed)  "
+            f"p999 clean {clean} degraded {deg} (blowup {c.p999_blowup:.1f}x)"
+        )
+        for v in c.verdicts:
+            mark = "ok  " if v.ok else "FAIL"
+            lines.append(
+                f"    [{mark}] {v.name}: {v.detail} "
+                f"(value {v.value:,.2f}, threshold {v.threshold:,.2f})"
+            )
+        for problem in c.problems:
+            lines.append(f"    [FAIL] {problem}")
     return "\n".join(lines)
 
 
@@ -115,6 +193,31 @@ def render_load_report(result: LoadResult) -> str:
         f"{arrival.streams()} arrival streams"
         + (f"; think {arrival.think_ms:g}ms" if arrival.think_ms > 0 else "")
     )
+    if spec.chaos is not None:
+        chaos = spec.chaos
+        lines.append(
+            f"chaos suite {chaos.suite!r}: {', '.join(chaos.kinds)} "
+            f"x{chaos.windows_per_kind} window"
+            f"{'s' if chaos.windows_per_kind != 1 else ''}/kind "
+            f"({chaos.window_frac:.0%} of horizon each)"
+        )
+    if spec.resilience is not None:
+        res = spec.resilience
+        knobs = []
+        if res.timeout_ms > 0:
+            knobs.append(f"timeout {res.timeout_ms:g}ms")
+        if res.max_retries > 0:
+            knobs.append(
+                f"retries {res.max_retries} "
+                f"(backoff {res.backoff_base_ms}..{res.backoff_cap_ms}ms)"
+            )
+        if res.shed_depth > 0:
+            knobs.append(f"shed at depth {res.shed_depth}")
+        if res.breaker_threshold > 0:
+            knobs.append(
+                f"breaker {res.breaker_threshold} fails / {res.breaker_open_ms:g}ms"
+            )
+        lines.append("resilience " + ("; ".join(knobs) if knobs else "(no-op)"))
     for point in result.points:
         lines.append("")
         lines.append(_render_point(point))
@@ -124,17 +227,26 @@ def render_load_report(result: LoadResult) -> str:
 
 
 def render_saturation_curve(result: LoadResult) -> str:
-    """Aligned saturation table: offered vs achieved vs tail latency."""
+    """Aligned saturation table: offered vs achieved vs tail latency.
+
+    Chaos sweeps grow three columns — client goodput, shed count and
+    the fault-window p999 blowup; classic sweeps keep the exact
+    pre-chaos table so existing CI byte-diffs stay valid.
+    """
+    rows = saturation_rows(result)
+    with_chaos = any("chaos" in row for row in rows)
     head = (
         f"{'offered':>12}{'achieved':>12}{'goodput':>9}"
         f"{'p50us':>11}{'p99us':>11}{'p999us':>11}"
     )
+    if with_chaos:
+        head += f"{'goodtps':>12}{'shed':>7}{'p999x':>9}"
     lines = ["saturation curve (throughput vs offered load)", head]
-    for row in saturation_rows(result):
+    for row in rows:
         goodput = (
             row["achieved_tps"] / row["offered_tps"] if row["offered_tps"] else 0.0
         )
-        lines.append(
+        line = (
             f"{row['offered_tps']:>12,.0f}{row['achieved_tps']:>12,.0f}"
             f"{goodput:>8.0%} "
             + "".join(
@@ -142,6 +254,16 @@ def render_saturation_curve(result: LoadResult) -> str:
                 for q in PERCENTILES
             )
         )
+        if with_chaos:
+            c = row.get("chaos")
+            if c is None:
+                line += f"{'-':>12}{'-':>7}{'-':>9}"
+            else:
+                line += (
+                    f"{c['goodput_tps']:>12,.0f}{c['shed']:>7,d}"
+                    f"{c['p999_blowup']:>8.1f}x"
+                )
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -178,6 +300,13 @@ def load_record(result: LoadResult) -> dict:
             "ack": spec.ack,
             "fault_rate": spec.fault_rate,
             "seed": spec.seed,
+            # None when chaos/resilience is off, matching the implicit
+            # None that `spec.get(...)` yields for legacy records — so
+            # classic baselines keep matching classic runs.
+            "chaos": spec.chaos.to_dict() if spec.chaos is not None else None,
+            "resilience": (
+                spec.resilience.to_dict() if spec.resilience is not None else None
+            ),
         },
         "capacity_tps": result.capacity_tps,
         "base_rate_tps": result.base_rate,
@@ -231,6 +360,7 @@ def horizon_seconds(result: LoadResult) -> float:
 __all__ = [
     "DEFAULT_RECORDS_DIR",
     "append_load_record",
+    "chaos_row",
     "load_record",
     "per_op_rows",
     "read_load_records",

@@ -55,6 +55,7 @@ from repro.storage.recovery import (
     write_checkpoint,
 )
 from repro.storage.wal import LogImage, LogRecord
+from repro.util.backoff import jittered_backoff
 from repro.util.rng import child_rng
 
 ASYNC = "async"
@@ -312,13 +313,12 @@ class ReplicationGroup:
                     ack_span.set(attempts=attempt, timed_out=True)
                     return False
                 with sanitizer.scope("client"):
-                    jitter = self._jitter_rng.randrange(
-                        0, self.spec.backoff_base_ticks + 1
+                    backoff = jittered_backoff(
+                        self.spec.backoff_base_ticks,
+                        self.spec.backoff_cap_ticks,
+                        attempt,
+                        self._jitter_rng,
                     )
-                backoff = min(
-                    self.spec.backoff_base_ticks * 2 ** (attempt - 1),
-                    self.spec.backoff_cap_ticks,
-                ) + jitter
                 self.ack_retries += 1
                 self.backoff_ticks += backoff
                 obs.inc("repl.ack_retries", mode=self.spec.ack)

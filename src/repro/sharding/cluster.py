@@ -77,6 +77,7 @@ from repro.sharding.twopc import (
     MSG_PREPARE,
     MSG_VOTE,
 )
+from repro.util.backoff import jittered_backoff
 from repro.util.rng import child_rng
 from repro.workloads.tpcc import TPCC
 
@@ -279,7 +280,10 @@ class ShardedCluster:
         in-doubt rebuild, presumed-abort resolution) before returning,
         so the caller sees ``"crashed"`` rather than an exception.
         """
-        with sanitizer.scope("workload"):
+        # Only the caller-supplied stream may draw here; its purpose is
+        # "workload" for chaos runs but e.g. "load-cluster:x1" when the
+        # load driver submits, so scope on the stream's own purpose.
+        with sanitizer.scope(getattr(rng, "_repro_purpose", "workload")):
             procedure, home_w, parts = self.workload.next_distributed_transaction(
                 rng, remote_pct=self.spec.remote_pct
             )
@@ -470,11 +474,10 @@ class ShardedCluster:
             if attempt > spec.max_retries:
                 return False
             with sanitizer.scope("2pc-client"):
-                jitter = self._jitter_rng.randrange(0, spec.backoff_base_ticks + 1)
-            backoff = min(
-                spec.backoff_base_ticks * 2 ** (attempt - 1),
-                spec.backoff_cap_ticks,
-            ) + jitter
+                backoff = jittered_backoff(
+                    spec.backoff_base_ticks, spec.backoff_cap_ticks,
+                    attempt, self._jitter_rng,
+                )
             obs.inc("twopc.retries")
             resend()
             self.net.tick(backoff)

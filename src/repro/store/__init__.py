@@ -31,6 +31,7 @@ from repro.store.compare import (
     RunDiff,
     check_load_regression,
     diff_runs,
+    find_load_baseline,
     metric_history,
     render_diff,
     render_history,
@@ -73,6 +74,7 @@ __all__ = [
     "canonical",
     "chaos_run",
     "check_load_regression",
+    "find_load_baseline",
     "diff_runs",
     "figure_run",
     "fingerprint",

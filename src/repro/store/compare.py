@@ -167,6 +167,53 @@ def _load_entries(a: RunRecord, b: RunRecord) -> list[DiffEntry]:
                     f"{(vb - va) / va:.0%} (> {P999_REGRESSION_TOLERANCE:.0%})"
                 )
             entries.append(DiffEntry(f"x{multiplier:g}.{metric}", va, vb, flag))
+        entries.extend(_chaos_point_entries(multiplier, pa, pb))
+    return entries
+
+
+def _chaos_point_entries(multiplier, pa: dict, pb: dict) -> list[DiffEntry]:
+    """Chaos-sweep deltas for one multiplier: tail blowup and verdicts.
+
+    The fault-window p999 blowup gates like p999 itself (same
+    tolerance, and the flag says "p999" so the ``load --check`` gate
+    picks it up); a degraded-mode verdict flipping ok -> fail is always
+    flagged.  Classic points (no ``chaos`` block on either side)
+    contribute nothing, so pre-chaos diffs are unchanged.
+    """
+    ca, cb = pa.get("chaos"), pb.get("chaos")
+    if not isinstance(ca, dict) or not isinstance(cb, dict):
+        return []
+    entries = []
+    va, vb = _num(ca.get("p999_blowup")), _num(cb.get("p999_blowup"))
+    flag = ""
+    if (
+        va is not None
+        and vb is not None
+        and va > 0
+        and (vb - va) / va > P999_REGRESSION_TOLERANCE
+    ):
+        flag = (
+            f"p999-blowup-regression:x{multiplier:g} fault-window tail grew "
+            f"{(vb - va) / va:.0%} (> {P999_REGRESSION_TOLERANCE:.0%})"
+        )
+    entries.append(DiffEntry(f"x{multiplier:g}.chaos.p999_blowup", va, vb, flag))
+    verdicts_a = {v.get("name"): bool(v.get("ok")) for v in ca.get("verdicts", [])}
+    verdicts_b = {v.get("name"): bool(v.get("ok")) for v in cb.get("verdicts", [])}
+    for name in sorted(set(verdicts_a) & set(verdicts_b)):
+        ok_a, ok_b = verdicts_a[name], verdicts_b[name]
+        flag = (
+            f"degraded-verdict:{name} flipped ok -> fail at x{multiplier:g}"
+            if ok_a and not ok_b
+            else ""
+        )
+        entries.append(
+            DiffEntry(
+                f"x{multiplier:g}.verdict.{name}",
+                1.0 if ok_a else 0.0,
+                1.0 if ok_b else 0.0,
+                flag,
+            )
+        )
     return entries
 
 
@@ -398,6 +445,11 @@ _LOAD_BASELINE_KEYS = (
     "system", "mix", "backend", "process", "clients", "streams",
     "events_per_point", "think_ms", "servers", "shards", "replicas",
     "ack", "fault_rate", "seed",
+    # Chaos sweeps only compare against baselines with the identical
+    # fault schedule and resilience policy; classic runs carry None for
+    # both, which `.get()` also yields for legacy records that predate
+    # the keys — old baselines keep matching.
+    "chaos", "resilience",
 )
 
 
@@ -410,13 +462,22 @@ def find_load_baseline(
 ) -> RunRecord | None:
     """The most recent candidate whose spec matches *fresh_spec* on every
     comparison-relevant field (same virtual experiment, so latencies are
-    directly comparable)."""
+    directly comparable).
+
+    Tolerant of legacy/malformed candidates: a record whose spec is not
+    a dict (hand-edited store files, pre-schema blobs) is skipped, not
+    fatal — the gate must never crash on old history.
+    """
     key = _load_spec_key(fresh_spec)
-    matching = [
-        record
-        for record in candidates
-        if record.kind == LOAD and _load_spec_key(record.spec) == key
-    ]
+    matching = []
+    for record in candidates:
+        if record is None or record.kind != LOAD:
+            continue
+        try:
+            if _load_spec_key(record.spec) == key:
+                matching.append(record)
+        except (AttributeError, TypeError):
+            continue
     if not matching:
         return None
     return max(matching, key=lambda record: (record.created, record.run_id))
@@ -440,7 +501,11 @@ def check_load_regression(
             True,
         )
     diff = diff_runs(baseline, fresh)
-    p999_flags = [flag for flag in diff.regressions if "p999" in flag]
+    gate_flags = [
+        flag
+        for flag in diff.regressions
+        if "p999" in flag or "degraded-verdict" in flag
+    ]
     lines = [
         f"load check vs {baseline.run_id or 'committed baseline'} "
         f"({baseline.created or 'undated'}):"
@@ -448,17 +513,22 @@ def check_load_regression(
     if diff.identical:
         lines.append("  fingerprints identical: zero drift")
     for entry in diff.entries:
-        if not entry.metric.endswith("p999_us"):
+        interesting = (
+            entry.metric.endswith("p999_us")
+            or entry.metric.endswith("chaos.p999_blowup")
+            or ".verdict." in entry.metric
+        )
+        if not interesting:
             continue
         rel = "" if entry.rel is None else f" ({entry.rel:+.1%})"
         a_txt = "-" if entry.a is None else f"{entry.a:,.1f}"
         b_txt = "-" if entry.b is None else f"{entry.b:,.1f}"
         mark = "  REGRESSION" if entry.flag else ""
-        lines.append(f"  {entry.metric:<16}{a_txt:>12} -> {b_txt:>12}{rel}{mark}")
-    ok = not p999_flags
+        lines.append(f"  {entry.metric:<40}{a_txt:>12} -> {b_txt:>12}{rel}{mark}")
+    ok = not gate_flags
     lines.append(
         f"  gate: p999 within {P999_REGRESSION_TOLERANCE:.0%} of baseline"
         if ok
-        else "  GATE FAILED: " + "; ".join(p999_flags)
+        else "  GATE FAILED: " + "; ".join(gate_flags)
     )
     return "\n".join(lines), ok

@@ -95,17 +95,44 @@ def bench_run(record: dict) -> RunRecord:
 
 
 def load_run(record: dict) -> RunRecord:
-    """A ``load`` run from one ``LOAD_<date>.json`` record dict."""
+    """A ``load`` run from one ``LOAD_<date>.json`` record dict.
+
+    Chaos sweeps (points carrying a ``chaos`` block) lift their
+    degraded-mode verdicts into ``RunRecord.verdicts`` so the store's
+    comparison engine can flag ok -> fail flips.  Only points at or
+    below the capacity multiplier (x1.0) gate: past saturation the
+    queue grows without bound by construction, so "recovers within N
+    ticks" is not a meaningful promise there.
+    """
     payload = {
         "capacity_tps": record.get("capacity_tps"),
         "base_rate_tps": record.get("base_rate_tps"),
         "points": list(record.get("points", [])),
     }
+    verdicts: dict = {}
+    chaos_points = [
+        p
+        for p in payload["points"]
+        if isinstance(p, dict) and isinstance(p.get("chaos"), dict)
+    ]
+    if chaos_points:
+        gated = [p for p in chaos_points if (p.get("multiplier") or 0.0) <= 1.0]
+        degraded: dict[str, bool] = {}
+        for point in gated:
+            for v in point["chaos"].get("verdicts", []):
+                name = str(v.get("name"))
+                degraded[name] = degraded.get(name, True) and bool(v.get("ok"))
+        verdicts = {
+            "ok": all(degraded.values()) if degraded else True,
+            "degraded": degraded,
+            "gated_multipliers": [p.get("multiplier") for p in gated],
+        }
     return RunRecord(
         kind=LOAD,
         spec=dict(record.get("spec", {})),
         provenance=dict(record.get("provenance", {})),
         payload=payload,
+        verdicts=verdicts,
         created=record.get("timestamp", ""),
     )
 

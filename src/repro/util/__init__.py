@@ -1,6 +1,6 @@
 """repro.util — small stdlib-only helpers shared across the package.
 
-Three modules, all deliberately tiny and import-cycle-free (they import
+Four modules, all deliberately tiny and import-cycle-free (they import
 nothing from the rest of ``repro``), so any layer — including
 ``repro.obs``, which must stay importable while the package is still
 initialising — can use them:
@@ -17,14 +17,21 @@ initialising — can use them:
 * :mod:`repro.util.stablehash` — :func:`~repro.util.stablehash.stable_hash`,
   the process-stable ``hash()`` replacement for placement decisions
   keyed by strings (builtin str hashing is randomized per process).
+* :mod:`repro.util.backoff` — the one capped-exponential-backoff +
+  seeded-jitter schedule shared by the replication ack loop, the 2PC
+  resend loop, the engine retry loop, and the load driver's client
+  retry policy.
 """
 
+from repro.util.backoff import capped_backoff, jittered_backoff
 from repro.util.clock import perf_timer, perf_timer_ns, today, timestamp, wall_timer
 from repro.util.rng import child_rng, root_rng
 from repro.util.stablehash import stable_hash
 
 __all__ = [
+    "capped_backoff",
     "child_rng",
+    "jittered_backoff",
     "perf_timer",
     "perf_timer_ns",
     "root_rng",

@@ -1,0 +1,44 @@
+"""Capped exponential backoff with optional seeded jitter.
+
+Three subsystems grew byte-identical inline copies of the same retry
+schedule — the replication client ack loop, the 2PC coordinator resend
+loop, and the engine's abort-retry loop.  This module is the single
+home for that arithmetic so new layers (the load driver's client retry
+policy, for one) share the exact schedule instead of a fourth copy.
+
+Determinism contract: :func:`capped_backoff` is a pure function of its
+arguments.  :func:`jittered_backoff` additionally draws **exactly one**
+``randrange(0, int(base) + 1)`` from the caller-supplied RNG — the same
+single draw the inline copies made — so migrating a call site changes
+neither the RNG stream position nor the returned schedule.  Sanitizer
+scoping stays at the call site, where the stream identity is known.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+__all__ = ["capped_backoff", "jittered_backoff"]
+
+
+def capped_backoff(base: float, cap: float, attempt: int) -> float:
+    """Return ``min(base * 2**(attempt-1), cap)`` for 1-indexed *attempt*.
+
+    Works with ints (tick schedules) and floats (cycle schedules); the
+    result type follows Python's numeric promotion, matching the inline
+    expressions this replaces byte-for-byte.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    return min(base * 2 ** (attempt - 1), cap)
+
+
+def jittered_backoff(base: int, cap: int, attempt: int, rng: Random) -> int:
+    """Capped backoff plus one seeded jitter draw in ``[0, base]``.
+
+    The jitter is a single ``rng.randrange(0, base + 1)`` — the exact
+    draw width and count the replication and 2PC clients used, so
+    pinned schedule-digest tests stay green across the consolidation.
+    """
+    jitter = rng.randrange(0, base + 1)
+    return int(capped_backoff(base, cap, attempt)) + jitter

@@ -486,6 +486,15 @@ class TestCliValidation:
             ["chaos", "--shards", "2", "--remote-pct", "-5"],
             ["chaos", "--replicas", "-1"],
             ["chaos", "--seeds", "0"],
+            ["load", "--chaos", "no-such-suite"],
+            ["load", "--chaos", "brownout", "--chaos-windows", "0"],
+            ["load", "--chaos", "partition"],  # needs --replicas >= 1
+            ["load", "--chaos", "coordinator-crash"],  # needs --shards >= 1
+            ["load", "--chaos", "crash", "--shards", "2"],
+            ["load", "--retry", "-1"],
+            ["load", "--timeout-ms", "-1"],
+            ["load", "--shed", "-1"],
+            ["load", "--breaker", "-1"],
         ],
     )
     def test_bad_arguments_exit_2(self, argv, capsys):

@@ -544,10 +544,12 @@ class TestCli:
         args = ["load", "--clients", "200", "--events", "40", "--multipliers", "1",
                 "--records-dir", str(tmp_path / "recs"),
                 "--store-dir", str(tmp_path / "store")]
-        # First run records the baseline; its own check has nothing to gate.
-        assert self._main(args + ["--check"]) == 0
-        out = capsys.readouterr().out
-        assert "no comparable baseline" in out and "store: load-" in out
+        # First run has nothing to gate against: loud exit 2, but the
+        # run is still recorded so it becomes the next check's baseline.
+        assert self._main(args + ["--check"]) == 2
+        captured = capsys.readouterr()
+        assert "no matching baseline" in captured.err
+        assert "store: load-" in captured.out
         # Second identical run gates against it with zero drift.
         assert self._main(args + ["--check", "--no-save"]) == 0
         out = capsys.readouterr().out
