@@ -5,7 +5,13 @@ Two halves, one contract:
 * **Static**: an AST rule engine (:mod:`repro.lint.engine`,
   :mod:`repro.lint.rules`) with eight determinism rules, a fingerprint
   suppression baseline (:mod:`repro.lint.baseline`), and the
-  ``repro-lint`` CLI (:mod:`repro.lint.cli`).
+  ``repro-lint`` CLI (:mod:`repro.lint.cli`); plus a whole-program
+  layer — a cached deterministic call graph
+  (:mod:`repro.lint.callgraph`) feeding four interprocedural passes
+  (:mod:`repro.lint.taint`, :mod:`repro.lint.locks`,
+  :mod:`repro.lint.units`, :mod:`repro.lint.streams`) orchestrated by
+  :mod:`repro.lint.passes`, with SARIF 2.1.0 output
+  (:mod:`repro.lint.sarif`).
 * **Runtime**: the RNG-stream sanitizer (:mod:`repro.lint.sanitizer`)
   — provenance-tagged streams, cross-stream draw detection, serial vs
   parallel draw-count comparison, and unordered-merge guards, armed by
@@ -38,20 +44,33 @@ from repro.lint.engine import (
     iter_python_files,
     lint_paths,
 )
+from repro.lint.callgraph import Project, ProjectPass, build_project
+from repro.lint.passes import default_passes, lint_all, pass_names, run_passes, select_passes
 from repro.lint.rules import default_rules, rule_names
+from repro.lint.sarif import render_sarif, to_sarif
 
 __all__ = [
     "FileContext",
     "Finding",
     "LintConfig",
     "LintEngine",
+    "Project",
+    "ProjectPass",
     "Rule",
     "apply_baseline",
+    "build_project",
+    "default_passes",
     "default_rules",
     "iter_python_files",
+    "lint_all",
     "lint_paths",
     "load_baseline",
+    "pass_names",
+    "render_sarif",
     "rule_names",
+    "run_passes",
     "sanitizer",
+    "select_passes",
+    "to_sarif",
     "write_baseline",
 ]

@@ -1,0 +1,378 @@
+"""Lock-order deadlock detection and exception-edge leak checking.
+
+The paper's headline cost centre is the lock manager; our reproduction
+has one too (:mod:`repro.storage.lock_manager`), plus 2PC coordination
+paths that interleave lock-protected engine work.  This pass makes the
+acquisition *order* a checked property:
+
+**Acquisition sites.**  A call ``X.acquire(...)`` whose receiver name
+contains ``lock``/``latch``/``mutex`` (``eng.locks.acquire``,
+``self._lock_mgr.acquire``), and ``with``-statements over such
+receivers.  Lock *tokens* are derived statically: the resource
+argument's leading string constant (``("table", name)`` -> ``table``,
+``("row", t, k)`` -> ``row``), a plain string constant, or — when the
+resource is the callee's own parameter — the token substituted from
+each call site through the summary chain, so helper wrappers like
+``ShoreMTTransaction._lock`` attribute their tokens to the operations
+that call them.
+
+**Order graph.**  Within a function, acquiring B while A is held adds
+edge ``A -> B``; across functions, calling a helper that (transitively)
+leaves locks held threads those tokens into the caller's held set, in
+statement order, to a fixpoint over the call graph.  Release points
+(``release`` / ``release_all`` on a matching receiver) clear that
+receiver's tokens; ``with`` blocks release at exit.  A cycle in the
+token graph is a potential deadlock: two code paths that interleave
+those acquisitions can block each other forever — reported once per
+cycle, at the edge that closes it, with the full cycle spelled out.
+
+**Exception edges.**  When a function both acquires and releases the
+*same* receiver, every statement between the two that can raise (any
+call) must be covered by a ``try`` whose handler or ``finally``
+reaches the release — otherwise an exception leaks the lock (reported
+as *lock-leak*).  Engines that release through a separate
+commit/rollback path (2PL's release-at-end discipline) never pair the
+two in one function and are exempt by construction; the no-wait lock
+manager plus engine abort handling owns that protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    ProjectPass,
+)
+from repro.lint.engine import Finding
+
+_LOCKY = ("lock", "latch", "mutex")
+
+ORDER_RULE = "lock-order"
+LEAK_RULE = "lock-leak"
+
+
+def _is_locky(dotted: str | None) -> bool:
+    if not dotted:
+        return False
+    tail = dotted.split(".")[-1]
+    if tail in ("acquire", "release", "release_all"):
+        dotted = dotted[: -(len(tail) + 1)]
+    lowered = dotted.lower()
+    return any(marker in lowered for marker in _LOCKY)
+
+
+def _receiver_of(dotted: str) -> str:
+    """``eng.locks.acquire`` -> ``locks`` (the receiver's last part)."""
+    parts = dotted.split(".")
+    return parts[-2] if len(parts) >= 2 else parts[-1]
+
+
+def _tokenize(node: ast.AST, fn: FunctionInfo, module: ModuleInfo):
+    """Static identity of a lock resource expression.
+
+    Returns a string token, ``("param", i)`` for substitution at call
+    sites, or None when the identity cannot be pinned statically.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Tuple) and node.elts:
+        head = node.elts[0]
+        if isinstance(head, ast.Constant) and isinstance(head.value, str):
+            return head.value
+        return None
+    if isinstance(node, ast.Name):
+        index = fn.param_index(node.id)
+        if index is not None:
+            return ("param", index)
+        value = module.constants.get(node.id)
+        if value is not None:
+            return value
+        return None
+    if isinstance(node, ast.Attribute):
+        dotted = module.resolve(node)
+        return dotted if dotted else None
+    return None
+
+
+class _Event:
+    """One acquire/release/call event in statement order."""
+
+    __slots__ = ("kind", "receiver", "token", "node", "target", "covered")
+
+    def __init__(self, kind, receiver, token, node, target=None,
+                 covered=frozenset()):
+        self.kind = kind          # "acquire" | "release" | "call"
+        self.receiver = receiver  # receiver tail for acquire/release
+        self.token = token        # token | ("param", i) | None
+        self.node = node
+        self.target = target      # project qualname for "call"
+        # Receivers whose release is guaranteed on an exception raised
+        # at this point (enclosing try with a releasing finally/handler,
+        # or a `with` managing the lock itself); "*" covers everything.
+        self.covered = covered
+
+
+def _linearize(fn: FunctionInfo, module: ModuleInfo) -> list[_Event]:
+    """Acquire/release/call events in a deterministic statement order.
+
+    Branches contribute sequentially (if-body then else-body): the
+    pass over-approximates interleavings, which is the right direction
+    for deadlock detection.  ``with lock:`` emits acquire at entry and
+    release at exit.  Every event records which receivers an enclosing
+    ``try``'s handlers/``finally`` would release if the event raised —
+    the canonical ``acquire(); try: ... finally: release()`` idiom
+    leaves the acquire uncovered but every risky call covered, which is
+    exactly what the leak check wants.
+    """
+    events: list[_Event] = []
+
+    def call_events(node: ast.AST, guarded: frozenset) -> None:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            site = next((c for c in fn.calls if c.node is sub), None)
+            raw = site.raw if site else None
+            if raw and raw.split(".")[-1] in ("acquire",) and _is_locky(raw):
+                token = _tokenize(sub.args[1], fn, module) if len(sub.args) >= 2 else None
+                if token is None and len(sub.args) == 1:
+                    token = _tokenize(sub.args[0], fn, module)
+                if token is None:
+                    token = _receiver_of(raw)
+                receiver = _receiver_of(raw)
+                events.append(_Event(
+                    "acquire", receiver, token, sub, covered=guarded,
+                ))
+            elif raw and raw.split(".")[-1] in ("release", "release_all") and _is_locky(raw):
+                events.append(_Event("release", _receiver_of(raw), None, sub,
+                                     covered=guarded))
+            elif site and site.target:
+                events.append(_Event("call", None, None, sub,
+                                     target=site.target, covered=guarded))
+            elif isinstance(sub, ast.Call):
+                events.append(_Event("call", None, None, sub, covered=guarded))
+
+    def released_receivers(handlers: list[ast.AST]) -> frozenset:
+        out: set[str] = set()
+        for handler in handlers:
+            for sub in ast.walk(handler):
+                if isinstance(sub, ast.Call):
+                    raw = module.resolve(sub.func)
+                    if raw and raw.split(".")[-1] in ("release", "release_all"):
+                        out.add(_receiver_of(raw))
+                    elif raw is not None and "." not in raw:
+                        # A local cleanup helper (rollback) may release
+                        # transitively; treat as covering everything.
+                        out.add("*")
+                    elif raw and raw.startswith("self."):
+                        out.add("*")
+        return frozenset(out)
+
+    def walk(body: list[ast.stmt], guarded: frozenset) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested scopes are analysed on their own
+            if isinstance(stmt, ast.Try):
+                cover = guarded | released_receivers(
+                    list(stmt.handlers) + list(stmt.finalbody)
+                )
+                walk(stmt.body, cover)
+                for handler in stmt.handlers:
+                    walk(handler.body, guarded)
+                walk(stmt.orelse, guarded)
+                walk(stmt.finalbody, guarded)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                entered: list[str] = []
+                for item in stmt.items:
+                    dotted = module.resolve(item.context_expr)
+                    if dotted and _is_locky(dotted) and not dotted.endswith(")"):
+                        token = dotted
+                        receiver = _receiver_of(dotted)
+                        events.append(_Event(
+                            "acquire", receiver, token, item.context_expr,
+                            covered=guarded | {receiver},
+                        ))
+                        entered.append(receiver)
+                    else:
+                        call_events(item.context_expr, guarded)
+                walk(stmt.body, guarded | frozenset(entered))
+                for receiver in entered:
+                    events.append(_Event("release", receiver, None, stmt))
+            elif isinstance(stmt, (ast.If,)):
+                call_events(stmt.test, guarded)
+                walk(stmt.body, guarded)
+                walk(stmt.orelse, guarded)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                call_events(stmt.iter, guarded)
+                walk(stmt.body, guarded)
+                walk(stmt.orelse, guarded)
+            elif isinstance(stmt, ast.While):
+                call_events(stmt.test, guarded)
+                walk(stmt.body, guarded)
+                walk(stmt.orelse, guarded)
+            else:
+                call_events(stmt, guarded)
+
+    walk(list(fn.node.body), frozenset())
+    return events
+
+
+class LockOrderPass(ProjectPass):
+    name = "locks"
+    summary = "lock-order cycles (deadlocks) and exception-edge lock leaks"
+
+    MAX_DEPTH = 8
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        events = {
+            qual: _linearize(project.functions[qual], project.module_of(qual))
+            for qual in project.functions
+        }
+        summaries = self._summaries(project, events)
+        edges = self._order_edges(project, events, summaries)
+        yield from self._report_cycles(project, edges)
+        yield from self._report_leaks(project, events)
+
+    # -- summaries: tokens a function leaves held -----------------------------
+
+    def _summaries(self, project: Project, events) -> dict[str, tuple]:
+        summaries: dict[str, tuple] = {qual: () for qual in project.functions}
+        for _round in range(self.MAX_DEPTH):
+            changed = False
+            for qual in project.functions:
+                held: list = []
+                for event in events[qual]:
+                    if event.kind == "acquire":
+                        held.append((event.receiver, event.token))
+                    elif event.kind == "release":
+                        held = [h for h in held if h[0] != event.receiver]
+                    elif event.kind == "call" and event.target in summaries:
+                        for receiver, token in summaries[event.target]:
+                            sub = self._substitute(
+                                token, event.node, project, event.target, qual, events
+                            )
+                            held.append((receiver, sub))
+                new = tuple(held)
+                if new != summaries[qual]:
+                    summaries[qual] = new
+                    changed = True
+            if not changed:
+                break
+        return summaries
+
+    def _substitute(self, token, call_node, project, target, caller, events):
+        """Map a callee's ``("param", i)`` token to the caller's arg."""
+        if not (isinstance(token, tuple) and token and token[0] == "param"):
+            return token
+        callee = project.functions.get(target)
+        caller_fn = project.functions.get(caller)
+        if callee is None or caller_fn is None:
+            return None
+        index = token[1]
+        positional = list(call_node.args)
+        if callee.class_name is not None and not isinstance(call_node.func, ast.Name):
+            positional = [None] + positional
+        arg = None
+        if index < len(positional):
+            arg = positional[index]
+        elif index < len(callee.params):
+            wanted = callee.params[index]
+            for kw in call_node.keywords:
+                if kw.arg == wanted:
+                    arg = kw.value
+        if arg is None:
+            return None
+        return _tokenize(arg, caller_fn, project.module_of(caller))
+
+    # -- the order graph ------------------------------------------------------
+
+    def _order_edges(self, project, events, summaries):
+        """token -> token -> first (module, node) witnessing the edge."""
+        edges: dict[str, dict[str, tuple]] = {}
+
+        def add(a, b, module, node):
+            if not isinstance(a, str) or not isinstance(b, str) or a == b:
+                return
+            edges.setdefault(a, {})
+            if b not in edges[a]:
+                edges[a][b] = (module, node)
+
+        for qual in project.functions:
+            module = project.module_of(qual)
+            held: list = []
+            for event in events[qual]:
+                if event.kind == "acquire":
+                    for _receiver, token in held:
+                        add(token, event.token, module, event.node)
+                    held.append((event.receiver, event.token))
+                elif event.kind == "release":
+                    held = [h for h in held if h[0] != event.receiver]
+                elif event.kind == "call" and event.target in summaries:
+                    for receiver, token in summaries[event.target]:
+                        sub = self._substitute(
+                            token, event.node, project, event.target, qual, events
+                        )
+                        for _r, prior in held:
+                            add(prior, sub, module, event.node)
+                        held.append((receiver, sub))
+        return edges
+
+    def _report_cycles(self, project, edges) -> Iterator[Finding]:
+        """DFS cycle detection; each cycle reported once, canonically."""
+        reported: set[tuple] = set()
+        for start in sorted(edges):
+            stack = [(start, (start,))]
+            while stack:
+                node, path = stack.pop()
+                for succ in sorted(edges.get(node, {})):
+                    if succ == start:
+                        cycle = path
+                        pivot = cycle.index(min(cycle))
+                        canonical = cycle[pivot:] + cycle[:pivot]
+                        if canonical in reported:
+                            continue
+                        reported.add(canonical)
+                        module, witness = edges[node][start]
+                        pretty = " -> ".join(canonical + (canonical[0],))
+                        yield module.finding(
+                            ORDER_RULE, witness,
+                            f"lock-order cycle {pretty}: two paths that "
+                            f"interleave these acquisitions can deadlock — "
+                            f"impose one global order",
+                        )
+                    elif succ not in path and len(path) < 8:
+                        stack.append((succ, path + (succ,)))
+
+    # -- exception-edge leaks -------------------------------------------------
+
+    def _report_leaks(self, project, events) -> Iterator[Finding]:
+        for qual in sorted(project.functions):
+            module = project.module_of(qual)
+            seq = events[qual]
+            releases = {
+                e.receiver: i for i, e in enumerate(seq) if e.kind == "release"
+            }
+            for i, event in enumerate(seq):
+                if event.kind != "acquire":
+                    continue
+                if event.receiver in event.covered or "*" in event.covered:
+                    continue  # `with` or a releasing try owns this one
+                rel = releases.get(event.receiver)
+                if rel is None or rel <= i:
+                    continue  # release-at-end protocols live elsewhere
+                risky = any(
+                    e.kind == "call"
+                    and event.receiver not in e.covered
+                    and "*" not in e.covered
+                    for e in seq[i + 1: rel]
+                )
+                if risky:
+                    yield module.finding(
+                        LEAK_RULE, event.node,
+                        f"lock {event.token!r} acquired here is released "
+                        f"only on the fall-through path — an exception in "
+                        f"between leaks it; use try/finally or `with`",
+                    )

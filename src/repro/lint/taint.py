@@ -1,0 +1,399 @@
+"""Interprocedural nondeterminism taint: does host state reach sim state?
+
+The file-local *wall-clock* / *entropy* rules flag every syntactic
+reference — which is why ``repro.util.clock`` needs an allowlist (its
+whole job is reading the clock) and why a helper that launders
+``time.time()`` through a return value is invisible to them.  This
+pass tracks the *value* instead:
+
+**Sources** — expressions that materialise host state:
+
+* wall-clock reads (``time.time`` & friends, ``datetime.now``, and —
+  transitively, via the call graph — the ``repro.util.clock`` helpers
+  that wrap them);
+* OS entropy (``os.urandom``, ``uuid.uuid4``, ``secrets.*``);
+* the process environment (``os.environ[...]``, ``os.getenv``);
+* builtin ``hash()`` (PYTHONHASHSEED-randomised on strings — the exact
+  bug class ``repro.util.stablehash`` exists to kill).
+
+**Propagation** — assignments, arithmetic, f-strings, transparent
+builtins (``int``, ``max``, ...), and *call edges*: every function
+gets a return summary ("returns wall-clock taint", "returns whatever
+parameter 1 was"), iterated to a fixpoint over the call graph, so a
+tainted value survives any depth of helper laundering.
+
+**Sinks** — where a tainted value becomes simulation state:
+
+* attribute stores (``self.offset = tainted``) and subscript stores
+  (``state[k] = tainted``) in sim-path modules;
+* seed positions: the first argument of ``child_rng`` / ``root_rng``
+  or any ``seed=`` keyword anywhere;
+* call frontiers: passing a tainted argument to a parameter that
+  (transitively) reaches one of the above inside the callee.
+
+A finding is emitted at the sim-path frontier where source-tainted
+data meets a sink — so ``repro.util.clock`` consumers that only
+*display* timings (``started = wall_timer(); print(...)``) are clean
+(fewer false positives than the syntactic rule), while a helper chain
+that feeds ``time.time()`` into an engine attribute or an RNG seed is
+flagged at the exact call that commits the value (real positives the
+syntactic rule could never see).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    ProjectPass,
+    TRANSPARENT_CALLS,
+)
+from repro.lint.engine import Finding
+from repro.lint.rules import _ENTROPY, _WALL_CLOCK
+
+WALL_CLOCK = "wall-clock"
+ENTROPY = "entropy"
+ENVIRON = "environ"
+BUILTIN_HASH = "builtin-hash"
+
+_SOURCE_LABELS = (WALL_CLOCK, ENTROPY, ENVIRON, BUILTIN_HASH)
+
+_ENVIRON_CALLS = {"os.getenv", "os.environ.get", "os.environ.pop"}
+
+# Seeded-factory entry points: their first argument is a seed sink.
+_SEED_FACTORIES = {
+    "repro.util.rng.child_rng",
+    "repro.util.rng.root_rng",
+    "random.Random",
+}
+
+
+def _source_label(raw: str | None) -> str | None:
+    """Taint label for a direct stdlib source call, if any."""
+    if raw is None:
+        return None
+    if raw in _WALL_CLOCK:
+        return WALL_CLOCK
+    if raw in _ENTROPY or raw.startswith("secrets."):
+        return ENTROPY
+    if raw in _ENVIRON_CALLS:
+        return ENVIRON
+    if raw == "hash":
+        return BUILTIN_HASH
+    return None
+
+
+class _FunctionTaint(ast.NodeVisitor):
+    """Flow-insensitive local taint for one function.
+
+    ``var_taint`` maps local names to label sets; labels are source
+    strings or ``("param", i)`` markers.  The walk runs to a local
+    fixpoint (assignments out of source order converge in a couple of
+    sweeps) against the current global summaries, which the
+    interprocedural driver iterates to *its* fixpoint.
+    """
+
+    def __init__(self, fn: FunctionInfo, module: ModuleInfo, pass_: "TaintPass") -> None:
+        self.fn = fn
+        self.module = module
+        self.pass_ = pass_
+        self.var_taint: dict[str, frozenset] = {
+            name: frozenset({("param", i)}) for i, name in enumerate(fn.params)
+        }
+        self.returns: frozenset = frozenset()
+        self.sink_events: list[tuple[ast.AST, frozenset, str]] = []
+
+    # -- expression taint -----------------------------------------------------
+
+    def taint_of(self, node: ast.AST) -> frozenset:
+        if isinstance(node, ast.Name):
+            return self.var_taint.get(node.id, frozenset())
+        if isinstance(node, ast.Call):
+            return self._call_taint(node)
+        if isinstance(node, ast.Attribute):
+            dotted = self.module.resolve(node)
+            if dotted and dotted.startswith("os.environ"):
+                return frozenset({ENVIRON})
+            return frozenset()
+        if isinstance(node, ast.Subscript):
+            base = self.module.resolve(node.value)
+            if base and base.startswith("os.environ"):
+                return frozenset({ENVIRON})
+            return self.taint_of(node.value)
+        if isinstance(node, (ast.BinOp,)):
+            return self.taint_of(node.left) | self.taint_of(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.taint_of(node.operand)
+        if isinstance(node, ast.BoolOp):
+            out: frozenset = frozenset()
+            for value in node.values:
+                out |= self.taint_of(value)
+            return out
+        if isinstance(node, ast.Compare):
+            out = self.taint_of(node.left)
+            for comp in node.comparators:
+                out |= self.taint_of(comp)
+            return out
+        if isinstance(node, ast.IfExp):
+            return self.taint_of(node.body) | self.taint_of(node.orelse)
+        if isinstance(node, ast.JoinedStr):
+            out = frozenset()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self.taint_of(value.value)
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self.taint_of(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = frozenset()
+            for elt in node.elts:
+                out |= self.taint_of(elt)
+            return out
+        if isinstance(node, ast.Starred):
+            return self.taint_of(node.value)
+        if isinstance(node, ast.NamedExpr):
+            return self.taint_of(node.value)
+        return frozenset()
+
+    def _call_taint(self, node: ast.Call) -> frozenset:
+        site = self._site_for(node)
+        raw = site.raw if site else None
+        label = _source_label(raw)
+        if label is not None:
+            return frozenset({label})
+        if raw in TRANSPARENT_CALLS:
+            out: frozenset = frozenset()
+            for arg in node.args:
+                out |= self.taint_of(arg)
+            return out
+        target = site.target if site else None
+        if target is None:
+            return frozenset()
+        summary = self.pass_.returns.get(target, frozenset())
+        out = frozenset(l for l in summary if not isinstance(l, tuple))
+        for entry in summary:
+            if isinstance(entry, tuple) and entry[0] == "param":
+                arg = self._arg_at(node, target, entry[1])
+                if arg is not None:
+                    out |= self.taint_of(arg)
+        return out
+
+    def _site_for(self, node: ast.Call):
+        for site in self.fn.calls:
+            if site.node is node:
+                return site
+        return None
+
+    def _arg_at(self, node: ast.Call, target: str, index: int) -> ast.AST | None:
+        """The argument expression feeding callee parameter *index*."""
+        callee = self.pass_.project.functions.get(target)
+        if callee is None:
+            return None
+        positional = list(node.args)
+        # Method call through an instance: `obj.m(a)` binds a at param 1.
+        if callee.class_name is not None and not self._is_direct_ref(node, callee):
+            positional = [None] + positional  # type: ignore[list-item]
+        if index < len(positional):
+            return positional[index]
+        if index < len(callee.params):
+            wanted = callee.params[index]
+            for kw in node.keywords:
+                if kw.arg == wanted:
+                    return kw.value
+        return None
+
+    def _is_direct_ref(self, node: ast.Call, callee: FunctionInfo) -> bool:
+        """True when the call names the function (not a bound method)."""
+        return isinstance(node.func, ast.Name) and callee.class_name is None
+
+    # -- statements -----------------------------------------------------------
+
+    def _store(self, target: ast.AST, taint: frozenset, what: str) -> None:
+        if not taint:
+            return
+        if isinstance(target, ast.Name):
+            self.var_taint[target.id] = self.var_taint.get(target.id, frozenset()) | taint
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            base = target.value if isinstance(target, ast.Subscript) else target
+            dotted = self.module.resolve(base)
+            if dotted and dotted.startswith("os.environ"):
+                return  # writing the environment back is not sim state
+            self.sink_events.append((target, taint, what))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store(elt, taint, what)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        taint = self.taint_of(node.value)
+        for target in node.targets:
+            kind = "attribute" if isinstance(target, ast.Attribute) else "subscript"
+            self._store(target, taint, kind)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            kind = "attribute" if isinstance(node.target, ast.Attribute) else "subscript"
+            self._store(node.target, self.taint_of(node.value), kind)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        kind = "attribute" if isinstance(node.target, ast.Attribute) else "subscript"
+        self._store(node.target, self.taint_of(node.value), kind)
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self.returns |= self.taint_of(node.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        site = self._site_for(node)
+        raw = site.raw if site else None
+        # Seed sinks: child_rng(tainted, ...) / Random(tainted) / seed=.
+        if raw in _SEED_FACTORIES or (site and site.target in _SEED_FACTORIES):
+            if node.args:
+                taint = self.taint_of(node.args[0])
+                if taint:
+                    self.sink_events.append((node, taint, "seed"))
+        for kw in node.keywords:
+            if kw.arg == "seed":
+                taint = self.taint_of(kw.value)
+                if taint:
+                    self.sink_events.append((node, taint, "seed"))
+        self.generic_visit(node)
+
+    # Nested defs keep their own scope; don't leak locals across.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is not self.fn.node:
+            return
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def run(self) -> None:
+        for _sweep in range(2):  # converge out-of-order local flows
+            before = dict(self.var_taint)
+            self.sink_events.clear()
+            self.returns = frozenset()
+            self.visit(self.fn.node)
+            if self.var_taint == before:
+                break
+
+
+class TaintPass(ProjectPass):
+    name = "taint"
+    summary = "interprocedural nondeterminism taint (host state reaching sim state)"
+
+    RULE = "taint-flow"
+
+    def __init__(self) -> None:
+        self.project: Project | None = None
+        self.returns: dict[str, frozenset] = {}
+        self.param_sinks: dict[str, frozenset] = {}
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        self.project = project
+        self.returns = {q: frozenset() for q in project.functions}
+        self.param_sinks = {q: frozenset() for q in project.functions}
+        analyses = self._fixpoint(project)
+        yield from self._report(project, analyses)
+
+    # -- interprocedural fixpoint --------------------------------------------
+
+    def _fixpoint(self, project: Project) -> dict[str, _FunctionTaint]:
+        analyses: dict[str, _FunctionTaint] = {}
+        for _round in range(6):
+            changed = False
+            for module in project.modules.values():
+                for qual in module.function_order():
+                    fn = module.functions[qual]
+                    analysis = _FunctionTaint(fn, module, self)
+                    analysis.run()
+                    analyses[qual] = analysis
+                    new_returns = frozenset(
+                        entry for entry in analysis.returns
+                        if isinstance(entry, tuple) or entry in _SOURCE_LABELS
+                    )
+                    if new_returns != self.returns[qual]:
+                        self.returns[qual] = new_returns
+                        changed = True
+                    new_sinks = self._param_sinks_of(fn, analysis)
+                    if new_sinks != self.param_sinks[qual]:
+                        self.param_sinks[qual] = new_sinks
+                        changed = True
+            if not changed:
+                break
+        return analyses
+
+    def _param_sinks_of(self, fn: FunctionInfo, analysis: _FunctionTaint) -> frozenset:
+        """Indices of *fn*'s params that reach a sink inside it."""
+        sinks: set[int] = set()
+        for _node, taint, _what in analysis.sink_events:
+            for entry in taint:
+                if isinstance(entry, tuple) and entry[0] == "param":
+                    sinks.add(entry[1])
+        # Transitive: a param passed on to a sinking parameter.
+        for site in fn.calls:
+            if site.target is None:
+                continue
+            callee_sinks = self.param_sinks.get(site.target, frozenset())
+            if not callee_sinks:
+                continue
+            for index in callee_sinks:
+                arg = analysis._arg_at(site.node, site.target, index)
+                if arg is None:
+                    continue
+                for entry in analysis.taint_of(arg):
+                    if isinstance(entry, tuple) and entry[0] == "param":
+                        sinks.add(entry[1])
+        return frozenset(sinks)
+
+    # -- reporting ------------------------------------------------------------
+
+    def _report(
+        self, project: Project, analyses: dict[str, _FunctionTaint]
+    ) -> Iterator[Finding]:
+        for module in project.modules.values():
+            if not module.is_sim:
+                continue
+            for qual in module.function_order():
+                analysis = analyses[qual]
+                fn = module.functions[qual]
+                # Direct sinks: source-tainted value stored locally.
+                for node, taint, what in analysis.sink_events:
+                    labels = sorted(l for l in taint if l in _SOURCE_LABELS)
+                    if not labels:
+                        continue
+                    yield module.finding(
+                        self.RULE, node,
+                        f"{'/'.join(labels)}-derived value reaches sim state "
+                        f"({what} store) — results must be a pure function "
+                        f"of the seed",
+                    )
+                # Call frontiers: tainted argument into a sinking param.
+                for site in fn.calls:
+                    if site.target is None:
+                        continue
+                    for index in sorted(self.param_sinks.get(site.target, ())):
+                        arg = analysis._arg_at(site.node, site.target, index)
+                        if arg is None:
+                            continue
+                        labels = sorted(
+                            l for l in analysis.taint_of(arg) if l in _SOURCE_LABELS
+                        )
+                        if not labels:
+                            continue
+                        callee = project.functions[site.target]
+                        pname = (
+                            callee.params[index]
+                            if index < len(callee.params) else f"#{index}"
+                        )
+                        yield module.finding(
+                            self.RULE, site.node,
+                            f"{'/'.join(labels)}-derived argument flows into "
+                            f"sim state via {callee.qualname}({pname}=...)",
+                        )

@@ -42,9 +42,7 @@ from dataclasses import dataclass
 
 from repro.load.scenarios import Mix, choose_op, pick_key
 from repro.util.rng import child_rng
-
-NS_PER_S = 1_000_000_000
-"""Virtual-time unit: integer nanoseconds."""
+from repro.util.timeunits import NS_PER_S  # re-export: virtual-time unit
 
 POISSON = "poisson"
 BURST = "burst"

@@ -80,12 +80,8 @@ from repro.storage.recovery import (
     write_checkpoint,
 )
 from repro.util.rng import child_rng
+from repro.util.timeunits import TICK_NS, ticks_to_ns, us_to_ns
 from repro.workloads.microbench import BYTES_PER_ROW, TABLE, MicroBenchmark
-
-TICK_NS = 50_000
-"""Virtual nanoseconds per SimNetwork fabric tick (50 us): a LAN-ish
-round-trip unit, so replication acks and 2PC rounds land on the same
-virtual-time axis as replayed CPU cycles."""
 
 PROBE_TXNS = 32
 """Back-to-back transactions the capacity probe measures."""
@@ -332,8 +328,8 @@ class _PlainBackend:
 
         prewarm_llc(self.machine, self.engine)
         records = state.redo_applied + state.undo_applied + state.truncated_records
-        recovery_ns = int(
-            (chaos.recovery_base_us + chaos.recovery_per_record_us * records) * 1000
+        recovery_ns = us_to_ns(
+            chaos.recovery_base_us + chaos.recovery_per_record_us * records
         )
         obs.inc("load.recovered_records", records, system=self.spec.system)
         return recovery_ns, problems
@@ -396,7 +392,7 @@ class _ReplicatedBackend(_PlainBackend):
         prewarm_llc(self.machine, self.engine)
         failover_ticks = self.group.net.clock - ticks_before
         recovery_ns = (
-            int(chaos.recovery_base_us * 1000) + max(failover_ticks, 1) * TICK_NS
+            us_to_ns(chaos.recovery_base_us) + ticks_to_ns(max(failover_ticks, 1))
         )
         obs.inc("load.failovers", system=self.spec.system)
         return recovery_ns, problems
@@ -414,8 +410,8 @@ class _ReplicatedBackend(_PlainBackend):
         delta = self.machine.run_trace(
             self.engine._trace, transactions=1 if committed else 0
         )
-        tick_ns = (self.group.net.clock - ticks_before) * TICK_NS
-        return int(delta.cycles * self.ns_per_cycle) + tick_ns, committed
+        net_ns = ticks_to_ns(self.group.net.clock - ticks_before)
+        return int(delta.cycles * self.ns_per_cycle) + net_ns, committed
 
 
 class _ShardedBackend:
@@ -499,7 +495,7 @@ class _ShardedBackend:
         ticks = self.cluster.net.clock - ticks_before
         # A purely local txn spends no fabric ticks; charge one tick so
         # service time is never zero (the request did round-trip a node).
-        return max(ticks, 1) * TICK_NS, outcome == COMMITTED
+        return ticks_to_ns(max(ticks, 1)), outcome == COMMITTED
 
     def op_label(self, event: LoadEvent) -> str:
         # The cluster drives its own TPC-C distributed mix: the label is

@@ -78,6 +78,7 @@ from repro.load.scenarios import INSERT
 from repro.obs import nearest_rank
 from repro.util.backoff import jittered_backoff
 from repro.util.rng import child_rng
+from repro.util.timeunits import ms_to_ns, ms_to_ns_float, ns_to_ticks
 
 # Every kind a chaos-load window can carry.  The first four reuse the
 # fault machinery of earlier PRs (ARIES recovery, failover, SimNetwork
@@ -424,9 +425,9 @@ def replay_resilient(
     image_purpose = f"load-image:{tag}"
     image_rng = child_rng(spec.seed, image_purpose)
 
-    timeout_ns = int(res.timeout_ms * 1_000_000)
+    timeout_ns = ms_to_ns(res.timeout_ms)
     breaker = (
-        _Breaker(res.breaker_threshold, int(res.breaker_open_ms * 1_000_000))
+        _Breaker(res.breaker_threshold, ms_to_ns(res.breaker_open_ms))
         if res.breaker_threshold > 0
         else None
     )
@@ -534,11 +535,10 @@ def replay_resilient(
             return
         if attempt <= res.max_retries:
             with sanitizer.scope(retry_purpose):
-                backoff_ns = (
+                backoff_ns = ms_to_ns_float(
                     jittered_backoff(
                         res.backoff_base_ms, res.backoff_cap_ms, attempt, retry_rng
                     )
-                    * 1_000_000
                 )
             retries += 1
             heapq.heappush(pending, (t_know + backoff_ns, seq_counter, ri, attempt + 1))
@@ -559,7 +559,7 @@ def replay_resilient(
             if w.kind == NET_PARTITION and wi not in triggered and w.start_ns <= ready:
                 triggered.add(wi)
                 record_window(wi)
-                duration = max(1, (w.end_ns - max(ready, w.start_ns)) // tick_ns)
+                duration = max(1, ns_to_ticks(w.end_ns - max(ready, w.start_ns), tick_ns))
                 backend.start_partition(duration)
         # Circuit breaker: reject without consuming a slot.
         probe = False

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.util.clock import perf_timer_ns
+from repro.util.timeunits import ns_to_us
 
 PHASE_COMPLETE = "X"
 PHASE_INSTANT = "i"
@@ -118,7 +119,7 @@ class Tracer:
         self.events.append(
             SpanEvent(
                 name, track, cat,
-                self._us(start_ns), (end_ns - start_ns) / 1000.0, PHASE_COMPLETE, args,
+                self._us(start_ns), ns_to_us(end_ns - start_ns), PHASE_COMPLETE, args,
             )
         )
 
@@ -127,13 +128,13 @@ class Tracer:
         self.events.append(
             SpanEvent(
                 span.name, span.track, span.cat,
-                self._us(span._start_ns), (end_ns - span._start_ns) / 1000.0,
+                self._us(span._start_ns), ns_to_us(end_ns - span._start_ns),
                 PHASE_COMPLETE, span.args,
             )
         )
 
     def _us(self, ns: int) -> float:
-        return (ns - self.epoch_ns) / 1000.0
+        return ns_to_us(ns - self.epoch_ns)
 
     # -- draining ------------------------------------------------------------
 

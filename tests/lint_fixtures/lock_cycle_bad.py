@@ -1,0 +1,33 @@
+"""Bad: two paths acquire the same two locks in opposite orders.
+
+``transfer`` takes table -> row, ``audit`` takes row -> table; run
+concurrently they can block each other forever.  The lock-order pass
+must report the table/row cycle.  A third function leaks: it acquires,
+then makes a call that can raise before the fall-through release.
+"""
+
+
+class LockTable:
+    def acquire(self, txn, resource):
+        raise NotImplementedError
+
+    def release_all(self, txn):
+        raise NotImplementedError
+
+
+def transfer(locks, txn):
+    locks.acquire(txn, ("table", "accounts"))
+    locks.acquire(txn, ("row", "accounts", 1))
+    locks.release_all(txn)
+
+
+def audit(locks, txn):
+    locks.acquire(txn, ("row", "accounts", 1))
+    locks.acquire(txn, ("table", "accounts"))
+    locks.release_all(txn)
+
+
+def leaky(locks, txn, body):
+    locks.acquire(txn, ("table", "accounts"))
+    body(txn)  # raises -> the lock above is never released
+    locks.release_all(txn)

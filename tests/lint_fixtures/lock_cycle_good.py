@@ -1,0 +1,24 @@
+"""Good: one global acquisition order, releases on every edge.
+
+Both paths take table before row (no cycle), and the risky call sits
+inside a ``try`` whose ``finally`` releases — the canonical
+``acquire(); try: work() finally: release()`` idiom must not flag.
+"""
+
+
+def transfer(locks, txn, body):
+    locks.acquire(txn, ("table", "accounts"))
+    locks.acquire(txn, ("row", "accounts", 1))
+    try:
+        body(txn)
+    finally:
+        locks.release_all(txn)
+
+
+def audit(locks, txn, body):
+    locks.acquire(txn, ("table", "accounts"))
+    locks.acquire(txn, ("row", "accounts", 2))
+    try:
+        body(txn)
+    finally:
+        locks.release_all(txn)

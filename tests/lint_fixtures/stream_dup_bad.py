@@ -1,0 +1,34 @@
+"""Bad: undisciplined child_rng purposes and sanitizer scopes.
+
+An unregistered purpose, a registered purpose constructed at more
+sites than the registry allows (aliasing two streams onto one
+sequence), a non-literal purpose outside the dynamic allowlist, and a
+draw inside a scope naming a different stream.
+"""
+
+from repro.lint import sanitizer
+from repro.util.rng import child_rng
+
+
+def make_streams(seed):
+    mystery = child_rng(seed, "totally-unregistered")
+    first = child_rng(seed, "client")
+    second = child_rng(seed, "client")  # registry allows one site
+    return mystery, first, second
+
+
+def opaque(seed, purpose):
+    # Purpose is a plain parameter and this function is not in
+    # DYNAMIC_SITES.
+    return child_rng(seed, purpose)
+
+
+def cross_draw(seed):
+    rng = child_rng(seed, "client")
+    with sanitizer.scope("workload"):
+        return rng.random()  # draw from "client" inside a "workload" scope
+
+
+def bad_label(seed):
+    with sanitizer.scope("no-such-label"):
+        return seed

@@ -1,0 +1,23 @@
+"""Good: registered purposes, prefixes, and matching scopes."""
+
+from repro.lint import sanitizer
+from repro.util.rng import child_rng
+
+
+def make_streams(seed, tag):
+    # A registered literal and a registered f-string prefix.
+    client = child_rng(seed, "client")
+    cluster = child_rng(seed, f"load-cluster:{tag}")
+    return client, cluster
+
+
+def scoped_draw(seed):
+    rng = child_rng(seed, "stall")
+    with sanitizer.scope("stall"):
+        return rng.random()
+
+
+def labelled_region(seed):
+    # A scope-only label from SCOPE_LABELS, no draw inside.
+    with sanitizer.scope("fault-schedule"):
+        return seed

@@ -1,0 +1,32 @@
+"""Bad: wall-clock values laundered through helpers into sim state.
+
+The syntactic wall-clock rule sees only the direct ``time.time()``
+call in ``_now_offset``; both commits below are invisible to it and
+must be caught by the interprocedural taint pass.
+"""
+
+import time
+
+
+def _now_offset():
+    # The source, one helper away from the sinks.
+    return time.time() * 1000
+
+
+def _commit(state, value):
+    # Param 1 reaches a subscript store: a sinking parameter.
+    state["skew"] = value
+
+
+class Engine:
+    def __init__(self):
+        self.offset = 0
+
+    def calibrate(self):
+        # Launder through the helper's return value, then store.
+        self.offset = int(_now_offset())
+
+
+def record(state):
+    # Launder through a sinking parameter.
+    _commit(state, _now_offset())

@@ -1,0 +1,26 @@
+"""Good: wall-clock stays host-side; sim state derives from the seed.
+
+Same helper shape as the bad fixture, but the clock value is only
+*displayed* (never stored into sim state), and what does get stored is
+seed-derived — the taint pass must stay silent on both.
+"""
+
+import time  # repro-lint: disable=wall-clock
+
+
+def _now_ms():
+    return time.time() * 1000  # repro-lint: disable=wall-clock
+
+
+def report(run):
+    # Display-only consumption of a tainted value: not a sink.
+    started = _now_ms()
+    print(f"{run} took {_now_ms() - started:.1f}ms")
+
+
+class Engine:
+    def __init__(self, seed):
+        # Seed-derived attribute store: tainted only by the parameter,
+        # never by a host source.
+        self.seed = seed
+        self.offset = seed * 2

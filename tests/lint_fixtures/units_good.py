@@ -1,0 +1,30 @@
+"""Good: the same arithmetic, with declared conversions.
+
+Conversion factors (``TICK_NS``: ns per tick) and ``a_to_b`` helpers
+carry values between units; like-unit arithmetic and count scaling
+stay silent.
+"""
+
+from repro.util.timeunits import TICK_NS, ms_to_ns
+
+
+def total_latency_ns(service_ns, queue_ticks):
+    return service_ns + queue_ticks * TICK_NS
+
+
+def deadline(start_ns, timeout_ms):
+    return start_ns + ms_to_ns(timeout_ms)
+
+
+def overdue(now_ns, deadline_ticks):
+    return now_ns > deadline_ticks * TICK_NS
+
+
+def mean_service_ns(total_ns, requests):
+    # Dividing by a count keeps the unit.
+    return total_ns / requests if requests else 0.0
+
+
+def drain_ticks(backlog_ns):
+    # Dividing by the factor converts ns -> ticks.
+    return backlog_ns // TICK_NS
